@@ -1,0 +1,58 @@
+//! B2 — cost of the ranking heuristics (quality numbers come from the
+//! `report` binary): attribute-ratio ranking vs weighted matcher
+//! suggestion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sit_bench::{drive_session, Phase2Strategy, Phase3Strategy};
+use sit_core::session::Session;
+use sit_datagen::oracle::GroundTruthOracle;
+use sit_datagen::GeneratorConfig;
+use sit_matcher::suggest::suggest_equivalences;
+use sit_matcher::WeightedResemblance;
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heuristic_quality");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for objects in [8usize, 16, 32] {
+        let pair = GeneratorConfig {
+            objects_per_schema: objects,
+            overlap: 0.5,
+            seed: 42,
+            ..Default::default()
+        }
+        .generate_pair();
+        // Ranking after a full phase 2.
+        let mut oracle = GroundTruthOracle::new(&pair.truth);
+        let driven = drive_session(
+            &pair,
+            &mut oracle,
+            Phase2Strategy::Exhaustive,
+            Phase3Strategy::Ranked,
+        );
+        group.bench_with_input(
+            BenchmarkId::new("attribute_ratio_rank", objects),
+            &objects,
+            |b, _| {
+                b.iter(|| driven.session.candidates(driven.ids.0, driven.ids.1));
+            },
+        );
+        // Matcher suggestion sweep over all attribute pairs.
+        let mut session = Session::new();
+        let sa = session.add_schema(pair.a.clone()).unwrap();
+        let sb = session.add_schema(pair.b.clone()).unwrap();
+        let w = WeightedResemblance::default();
+        group.bench_with_input(
+            BenchmarkId::new("matcher_suggest", objects),
+            &objects,
+            |b, _| {
+                b.iter(|| suggest_equivalences(session.catalog(), &w, sa, sb, 0.55));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristics);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! B4 — full integration (phase 4) cost over size and overlap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sit_bench::{drive_session, Phase2Strategy, Phase3Strategy};
+use sit_core::integrate::IntegrationOptions;
+use sit_datagen::oracle::GroundTruthOracle;
+use sit_datagen::GeneratorConfig;
+
+fn bench_integration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("integration");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (objects, overlap) in [(8usize, 0.5), (16, 0.5), (16, 0.25), (16, 0.75)] {
+        let pair = GeneratorConfig {
+            objects_per_schema: objects,
+            overlap,
+            seed: 11,
+            ..Default::default()
+        }
+        .generate_pair();
+        let mut oracle = GroundTruthOracle::new(&pair.truth);
+        let driven = drive_session(
+            &pair,
+            &mut oracle,
+            Phase2Strategy::Exhaustive,
+            Phase3Strategy::RankedWithClosure,
+        );
+        let id = format!("{objects}obj_{overlap}ov");
+        group.bench_with_input(BenchmarkId::new("integrate", &id), &id, |b, _| {
+            b.iter(|| {
+                driven
+                    .session
+                    .integrate(driven.ids.0, driven.ids.1, &IntegrationOptions::default())
+                    .unwrap()
+            });
+        });
+        // Ablation: pull-up of common attributes to derived superclasses.
+        group.bench_with_input(BenchmarkId::new("integrate_pull_up", &id), &id, |b, _| {
+            let options = IntegrationOptions {
+                pull_up_common_attrs: true,
+                ..Default::default()
+            };
+            b.iter(|| {
+                driven
+                    .session
+                    .integrate(driven.ids.0, driven.ids.1, &options)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_integration);
+criterion_main!(benches);

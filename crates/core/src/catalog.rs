@@ -1,0 +1,357 @@
+//! The catalog of component schemas registered in an integration session,
+//! and globally qualified element references.
+//!
+//! Phase 1 of the methodology ("schema collection") ends with a set of named
+//! component schemas. The catalog owns them, assigns [`SchemaId`]s, and
+//! resolves the `schema.object.attribute` dotted names the tool's screens
+//! use.
+
+use std::fmt;
+
+use sit_ecr::{AttrId, AttrOwner, Attribute, ObjectId, RelId, Schema, SchemaId};
+
+use crate::error::{CoreError, Result};
+
+/// Globally qualified object class: `(schema, object)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct GObj {
+    /// Owning schema.
+    pub schema: SchemaId,
+    /// Object class within the schema.
+    pub object: ObjectId,
+}
+
+impl GObj {
+    /// Construct from parts.
+    pub const fn new(schema: SchemaId, object: ObjectId) -> Self {
+        Self { schema, object }
+    }
+}
+
+impl fmt::Display for GObj {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.schema, self.object)
+    }
+}
+
+/// Globally qualified relationship set: `(schema, relationship)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct GRel {
+    /// Owning schema.
+    pub schema: SchemaId,
+    /// Relationship set within the schema.
+    pub rel: RelId,
+}
+
+impl GRel {
+    /// Construct from parts.
+    pub const fn new(schema: SchemaId, rel: RelId) -> Self {
+        Self { schema, rel }
+    }
+}
+
+impl fmt::Display for GRel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.schema, self.rel)
+    }
+}
+
+/// Globally qualified attribute: `(schema, owner, attribute)` — the unit
+/// the ACS matrix is indexed by.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct GAttr {
+    /// Owning schema.
+    pub schema: SchemaId,
+    /// Owning object class or relationship set.
+    pub owner: AttrOwner,
+    /// The attribute within its owner.
+    pub attr: AttrId,
+}
+
+impl GAttr {
+    /// Construct from parts.
+    pub const fn new(schema: SchemaId, owner: AttrOwner, attr: AttrId) -> Self {
+        Self {
+            schema,
+            owner,
+            attr,
+        }
+    }
+
+    /// Attribute of an object class.
+    pub const fn object(schema: SchemaId, object: ObjectId, attr: AttrId) -> Self {
+        Self {
+            schema,
+            owner: AttrOwner::Object(object),
+            attr,
+        }
+    }
+
+    /// Attribute of a relationship set.
+    pub const fn rel(schema: SchemaId, rel: RelId, attr: AttrId) -> Self {
+        Self {
+            schema,
+            owner: AttrOwner::Rel(rel),
+            attr,
+        }
+    }
+}
+
+/// Ordered collection of the session's component schemas.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    schemas: Vec<Schema>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a schema; names must be unique across the session.
+    pub fn add(&mut self, schema: Schema) -> Result<SchemaId> {
+        if self.by_name(schema.name()).is_some() {
+            return Err(CoreError::DuplicateSchema(schema.name().to_owned()));
+        }
+        self.schemas.push(schema);
+        Ok(SchemaId::new((self.schemas.len() - 1) as u32))
+    }
+
+    /// Number of registered schemas.
+    pub fn len(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// `true` when no schema is registered.
+    pub fn is_empty(&self) -> bool {
+        self.schemas.is_empty()
+    }
+
+    /// Schema by id (panics when out of range — ids only come from `add`).
+    pub fn schema(&self, id: SchemaId) -> &Schema {
+        &self.schemas[id.index()]
+    }
+
+    /// Schema by id, if present.
+    pub fn try_schema(&self, id: SchemaId) -> Option<&Schema> {
+        self.schemas.get(id.index())
+    }
+
+    /// Resolve a schema name.
+    pub fn by_name(&self, name: &str) -> Option<SchemaId> {
+        self.schemas
+            .iter()
+            .position(|s| s.name() == name)
+            .map(|i| SchemaId::new(i as u32))
+    }
+
+    /// All schema ids in registration order.
+    pub fn schema_ids(&self) -> impl Iterator<Item = SchemaId> {
+        (0..self.schemas.len() as u32).map(SchemaId::new)
+    }
+
+    /// Iterate `(id, schema)` pairs.
+    pub fn schemas(&self) -> impl Iterator<Item = (SchemaId, &Schema)> {
+        self.schemas
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SchemaId::new(i as u32), s))
+    }
+
+    /// All object classes of one schema, globally qualified.
+    pub fn objects_of(&self, schema: SchemaId) -> impl Iterator<Item = GObj> + '_ {
+        self.schema(schema)
+            .object_ids()
+            .map(move |o| GObj::new(schema, o))
+    }
+
+    /// All relationship sets of one schema, globally qualified.
+    pub fn rels_of(&self, schema: SchemaId) -> impl Iterator<Item = GRel> + '_ {
+        self.schema(schema)
+            .rel_ids()
+            .map(move |r| GRel::new(schema, r))
+    }
+
+    /// All attributes of one schema in definition order: object attributes
+    /// first (object order), then relationship attributes — the
+    /// registration order that reproduces the paper's `Eq_class #`
+    /// numbering on Screen 7.
+    pub fn attrs_of(&self, schema: SchemaId) -> Vec<GAttr> {
+        let s = self.schema(schema);
+        let mut out = Vec::new();
+        for (oid, obj) in s.objects() {
+            for aid in obj.attr_ids() {
+                out.push(GAttr::object(schema, oid, aid));
+            }
+        }
+        for (rid, rel) in s.relationships() {
+            for i in 0..rel.attr_count() as u32 {
+                out.push(GAttr::rel(schema, rid, AttrId::new(i)));
+            }
+        }
+        out
+    }
+
+    /// Resolve `schema.object`.
+    pub fn object_named(&self, schema: &str, object: &str) -> Result<GObj> {
+        let sid = self
+            .by_name(schema)
+            .ok_or_else(|| CoreError::UnknownName(schema.to_owned()))?;
+        let oid = self
+            .schema(sid)
+            .object_by_name(object)
+            .ok_or_else(|| CoreError::UnknownName(format!("{schema}.{object}")))?;
+        Ok(GObj::new(sid, oid))
+    }
+
+    /// Resolve `schema.relationship`.
+    pub fn rel_named(&self, schema: &str, rel: &str) -> Result<GRel> {
+        let sid = self
+            .by_name(schema)
+            .ok_or_else(|| CoreError::UnknownName(schema.to_owned()))?;
+        let rid = self
+            .schema(sid)
+            .rel_by_name(rel)
+            .ok_or_else(|| CoreError::UnknownName(format!("{schema}.{rel}")))?;
+        Ok(GRel::new(sid, rid))
+    }
+
+    /// Resolve `schema.owner.attr` where `owner` may be an object class or
+    /// a relationship set.
+    pub fn attr_named(&self, schema: &str, owner: &str, attr: &str) -> Result<GAttr> {
+        let sid = self
+            .by_name(schema)
+            .ok_or_else(|| CoreError::UnknownName(schema.to_owned()))?;
+        let s = self.schema(sid);
+        if let Some(oid) = s.object_by_name(owner) {
+            let (aid, _) = s
+                .object(oid)
+                .attr_by_name(attr)
+                .ok_or_else(|| CoreError::UnknownName(format!("{schema}.{owner}.{attr}")))?;
+            return Ok(GAttr::object(sid, oid, aid));
+        }
+        if let Some(rid) = s.rel_by_name(owner) {
+            let (aid, _) = s
+                .relationship(rid)
+                .attr_by_name(attr)
+                .ok_or_else(|| CoreError::UnknownName(format!("{schema}.{owner}.{attr}")))?;
+            return Ok(GAttr::rel(sid, rid, aid));
+        }
+        Err(CoreError::UnknownName(format!("{schema}.{owner}")))
+    }
+
+    /// The attribute behind a [`GAttr`].
+    pub fn attr(&self, a: GAttr) -> Result<&Attribute> {
+        self.try_schema(a.schema)
+            .and_then(|s| s.attr_of(a.owner, a.attr))
+            .ok_or_else(|| CoreError::UnknownElement(format!("{}.{:?}.{}", a.schema, a.owner, a.attr)))
+    }
+
+    /// Dotted display name `schema.Object` of an object class.
+    pub fn obj_display(&self, o: GObj) -> String {
+        match self.try_schema(o.schema).and_then(|s| s.try_object(o.object)) {
+            Some(obj) => format!("{}.{}", self.schema(o.schema).name(), obj.name),
+            None => o.to_string(),
+        }
+    }
+
+    /// Dotted display name `schema.Rel` of a relationship set.
+    pub fn rel_display(&self, r: GRel) -> String {
+        match self
+            .try_schema(r.schema)
+            .and_then(|s| s.try_relationship(r.rel))
+        {
+            Some(rel) => format!("{}.{}", self.schema(r.schema).name(), rel.name),
+            None => r.to_string(),
+        }
+    }
+
+    /// Dotted display name `schema.Owner.attr` of an attribute.
+    pub fn attr_display(&self, a: GAttr) -> String {
+        let Some(s) = self.try_schema(a.schema) else {
+            return format!("{}.?", a.schema);
+        };
+        let owner = s.owner_name(a.owner).unwrap_or("?");
+        let attr = s
+            .attr_of(a.owner, a.attr)
+            .map(|x| x.name.as_str())
+            .unwrap_or("?");
+        format!("{}.{owner}.{attr}", s.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sit_ecr::fixtures;
+
+    fn cat() -> Catalog {
+        let mut c = Catalog::new();
+        c.add(fixtures::sc1()).unwrap();
+        c.add(fixtures::sc2()).unwrap();
+        c
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let c = cat();
+        assert_eq!(c.len(), 2);
+        let sc1 = c.by_name("sc1").unwrap();
+        assert_eq!(c.schema(sc1).name(), "sc1");
+        assert!(c.by_name("nope").is_none());
+    }
+
+    #[test]
+    fn duplicate_schema_rejected() {
+        let mut c = cat();
+        assert!(matches!(
+            c.add(fixtures::sc1()),
+            Err(CoreError::DuplicateSchema(_))
+        ));
+    }
+
+    #[test]
+    fn name_resolution() {
+        let c = cat();
+        let student = c.object_named("sc1", "Student").unwrap();
+        assert_eq!(c.obj_display(student), "sc1.Student");
+        let majors = c.rel_named("sc2", "Majors").unwrap();
+        assert_eq!(c.rel_display(majors), "sc2.Majors");
+        let gpa = c.attr_named("sc1", "Student", "GPA").unwrap();
+        assert_eq!(c.attr_display(gpa), "sc1.Student.GPA");
+        let since = c.attr_named("sc1", "Majors", "Since").unwrap();
+        assert!(matches!(since.owner, AttrOwner::Rel(_)));
+        assert!(c.object_named("sc1", "Ghost").is_err());
+        assert!(c.attr_named("sc1", "Student", "Ghost").is_err());
+        assert!(c.attr_named("ghost", "Student", "Name").is_err());
+    }
+
+    #[test]
+    fn attrs_of_matches_screen7_numbering_order() {
+        let c = cat();
+        let sc2 = c.by_name("sc2").unwrap();
+        let attrs = c.attrs_of(sc2);
+        // sc2's first attributes are Grad_student's Name, GPA, Support_type.
+        let names: Vec<String> = attrs.iter().take(3).map(|&a| c.attr_display(a)).collect();
+        assert_eq!(
+            names,
+            vec![
+                "sc2.Grad_student.Name",
+                "sc2.Grad_student.GPA",
+                "sc2.Grad_student.Support_type"
+            ]
+        );
+        // Relationship attributes come after all object attributes.
+        let last = attrs.last().copied().unwrap();
+        assert!(matches!(last.owner, AttrOwner::Rel(_)));
+    }
+
+    #[test]
+    fn attr_dereference() {
+        let c = cat();
+        let name = c.attr_named("sc2", "Faculty", "Name").unwrap();
+        let a = c.attr(name).unwrap();
+        assert!(a.is_key());
+    }
+}

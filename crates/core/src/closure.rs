@@ -1,0 +1,955 @@
+//! Transitive derivation of assertions and conflict detection.
+//!
+//! Screen 9 of the paper shows the two behaviours this module implements:
+//!
+//! * **Derivation** — "Some of the assertions may be specified by the user;
+//!   the rest may be derived using rules of transitive composition of
+//!   assertions (such as if a ⊆ b and b ⊆ c then a ⊆ c)." We run
+//!   path-consistency over the RCC5 algebra of [`crate::assertion`], so
+//!   every sound consequence of the asserted facts is derived, not just
+//!   chains of ⊆.
+//! * **Conflict detection** — "At the same time assertions are derived, the
+//!   tool also checks for consistency of a newly defined or derived
+//!   assertion with the previously defined or derived assertion." A
+//!   conflict is a pair whose possible-relation set becomes empty; the
+//!   [`ConflictReport`] carries the *derivation provenance* — "all the
+//!   relevant assertions used in the derivation" — that the Assertion
+//!   Conflict Resolution Screen displays.
+//!
+//! The engine is generic over the node type so the same machinery serves
+//! object classes ([`crate::GObj`]) and relationship sets ([`crate::GRel`]).
+//! Intra-schema facts are seeded from schema structure: a category is a
+//! proper part of each single parent, and distinct entity sets of one
+//! schema are disjoint ("a given entity can be a member of only one entity
+//! set") — which is exactly how Screen 9's line 4
+//! (`sc4.Grad_student ⊆ sc4.Student`) enters the derivation.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+
+use crate::assertion::{Assertion, Rel5, Rel5Set};
+
+/// Index of a recorded fact (user assertion or structural seed).
+pub type FactId = usize;
+
+/// Where a fact came from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FactSource {
+    /// Specified by the DDA (Screen 8 / menu option 3 or 5).
+    User,
+    /// Seeded from one schema's own structure (category edges, entity-set
+    /// disjointness).
+    IntraSchema,
+}
+
+/// One recorded input fact.
+#[derive(Clone, Debug)]
+pub struct Fact<N> {
+    /// First node of the ordered pair.
+    pub a: N,
+    /// Second node of the ordered pair.
+    pub b: N,
+    /// The constraint as stated (singleton for assertions).
+    pub set: Rel5Set,
+    /// The user-facing assertion, when the fact came from one.
+    pub assertion: Option<Assertion>,
+    /// Origin.
+    pub source: FactSource,
+    /// Whether a later `retract` removed it.
+    pub active: bool,
+}
+
+/// A consequence the engine derived and pinned to a single relation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DerivedFact<N> {
+    /// First node.
+    pub a: N,
+    /// Second node.
+    pub b: N,
+    /// The single derived relation `R(a,b)`.
+    pub rel: Rel5,
+    /// Input facts the derivation rests on.
+    pub roots: Vec<FactId>,
+}
+
+/// Everything the Assertion Conflict Resolution Screen needs to display.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConflictReport {
+    /// Display names of the conflicting pair (`schema.Object`).
+    pub pair: (String, String),
+    /// The constraint already in force for the pair (possibly derived),
+    /// before the rejected assertion.
+    pub existing: Rel5Set,
+    /// The rejected new assertion.
+    pub rejected: Assertion,
+    /// The input facts ("relevant assertions used in the derivation") that
+    /// support the existing constraint, as display rows:
+    /// `(name_a, name_b, assertion_code_or_tag, from_user)`.
+    pub supports: Vec<ConflictSupport>,
+}
+
+/// One supporting row of a conflict report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConflictSupport {
+    /// Display name of the first node.
+    pub a: String,
+    /// Display name of the second node.
+    pub b: String,
+    /// The assertion code as shown on Screen 9 (`2`, `0`, ...), or the
+    /// RCC5 tag for structural seeds.
+    pub label: String,
+    /// `true` for DDA-specified assertions, `false` for structural seeds.
+    pub from_user: bool,
+}
+
+impl fmt::Display for ConflictReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "`{}` vs `{}`: existing constraint {} contradicts new assertion `{}` (code {}); derived from:",
+            self.pair.0,
+            self.pair.1,
+            self.existing,
+            self.rejected,
+            self.rejected.code()
+        )?;
+        for s in &self.supports {
+            write!(f, "\n  {} ~ {} : {}", s.a, s.b, s.label)?;
+        }
+        Ok(())
+    }
+}
+
+/// Ordered pair key with normalized orientation (`a < b`), plus whether the
+/// caller's orientation was flipped to normalize.
+fn norm<N: Ord + Copy>(a: N, b: N) -> ((N, N), bool) {
+    if a <= b {
+        ((a, b), false)
+    } else {
+        ((b, a), true)
+    }
+}
+
+/// Constraint between a normalized pair.
+#[derive(Clone, Debug)]
+struct Edge {
+    /// Possible relations for the pair in normalized orientation.
+    set: Rel5Set,
+    /// Input facts supporting the current refinement.
+    roots: HashSet<FactId>,
+}
+
+/// The assertion/derivation engine over nodes of type `N`.
+///
+/// `N` is any small copyable id ([`crate::GObj`], [`crate::GRel`]). Node
+/// display names for conflict reports are provided through a naming
+/// closure at assertion time, keeping the engine independent of the
+/// catalog.
+#[derive(Clone, Debug)]
+pub struct AssertionEngine<N> {
+    facts: Vec<Fact<N>>,
+    edges: HashMap<(N, N), Edge>,
+    adjacency: HashMap<N, HashSet<N>>,
+    nodes: HashSet<N>,
+    /// Pairs the DDA marked disjoint-but-integrable.
+    integrable_dr: HashSet<(N, N)>,
+}
+
+impl<N: Copy + Eq + Ord + Hash + fmt::Debug> Default for AssertionEngine<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N: Copy + Eq + Ord + Hash + fmt::Debug> AssertionEngine<N> {
+    /// Empty engine.
+    pub fn new() -> Self {
+        Self {
+            facts: Vec::new(),
+            edges: HashMap::new(),
+            adjacency: HashMap::new(),
+            nodes: HashSet::new(),
+            integrable_dr: HashSet::new(),
+        }
+    }
+
+    /// Number of recorded input facts (active and retracted).
+    pub fn fact_count(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// The recorded facts.
+    pub fn facts(&self) -> &[Fact<N>] {
+        &self.facts
+    }
+
+    /// All nodes mentioned so far.
+    pub fn nodes(&self) -> impl Iterator<Item = N> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Current constraint for a pair (universal when nothing is known).
+    pub fn constraint(&self, a: N, b: N) -> Rel5Set {
+        if a == b {
+            return Rel5Set::only(Rel5::Eq);
+        }
+        let ((x, y), flipped) = norm(a, b);
+        let set = self
+            .edges
+            .get(&(x, y))
+            .map(|e| e.set)
+            .unwrap_or(Rel5Set::ALL);
+        if flipped {
+            set.converse()
+        } else {
+            set
+        }
+    }
+
+    /// The single known relation for a pair, if pinned down.
+    pub fn known(&self, a: N, b: N) -> Option<Rel5> {
+        self.constraint(a, b).singleton()
+    }
+
+    /// Whether the pair was marked disjoint-but-integrable.
+    pub fn is_integrable_dr(&self, a: N, b: N) -> bool {
+        let ((x, y), _) = norm(a, b);
+        self.integrable_dr.contains(&(x, y))
+    }
+
+    /// The *effective assertion* for a pair, combining the pinned relation
+    /// with the integrability mark: `None` when the relation is not pinned.
+    pub fn effective(&self, a: N, b: N) -> Option<Assertion> {
+        match self.known(a, b)? {
+            Rel5::Eq => Some(Assertion::Equal),
+            Rel5::Pp => Some(Assertion::ContainedIn),
+            Rel5::Ppi => Some(Assertion::Contains),
+            Rel5::Po => Some(Assertion::MayBe),
+            Rel5::Dr => Some(if self.is_integrable_dr(a, b) {
+                Assertion::DisjointIntegrable
+            } else {
+                Assertion::DisjointNonIntegrable
+            }),
+        }
+    }
+
+    /// Seed a structural (intra-schema) fact. Contradictory seeds indicate
+    /// an invalid schema and are reported like assertion conflicts.
+    pub fn seed(
+        &mut self,
+        a: N,
+        b: N,
+        rel: Rel5,
+        name: impl Fn(N) -> String,
+    ) -> Result<Vec<DerivedFact<N>>, ConflictReport> {
+        self.apply(a, b, Rel5Set::only(rel), None, FactSource::IntraSchema, &name)
+    }
+
+    /// Record a DDA assertion for a pair. On success, returns the facts the
+    /// propagation *newly pinned to a singleton* (the derived assertions
+    /// the tool displays). On contradiction, nothing is changed and the
+    /// conflict report is returned.
+    pub fn assert(
+        &mut self,
+        a: N,
+        b: N,
+        assertion: Assertion,
+        name: impl Fn(N) -> String,
+    ) -> Result<Vec<DerivedFact<N>>, ConflictReport> {
+        let result = self.apply(
+            a,
+            b,
+            Rel5Set::only(assertion.rel()),
+            Some(assertion),
+            FactSource::User,
+            &name,
+        )?;
+        if assertion == Assertion::DisjointIntegrable {
+            let ((x, y), _) = norm(a, b);
+            self.integrable_dr.insert((x, y));
+        }
+        Ok(result)
+    }
+
+    /// Retract the most recent active user assertion between `a` and `b`
+    /// and rebuild the derivation state from the remaining facts (the
+    /// repair path the Assertion Conflict Resolution Screen offers: "the
+    /// DDA is asked to change the assertions so that they do not
+    /// conflict"). Returns `true` when a fact was found and removed.
+    pub fn retract(&mut self, a: N, b: N) -> bool {
+        let ((x, y), _) = norm(a, b);
+        let found = self
+            .facts
+            .iter()
+            .rposition(|f| {
+                f.active && f.source == FactSource::User && {
+                    let ((fx, fy), _) = norm(f.a, f.b);
+                    (fx, fy) == (x, y)
+                }
+            })
+            .map(|i| {
+                self.facts[i].active = false;
+            })
+            .is_some();
+        if found {
+            self.rebuild();
+        }
+        found
+    }
+
+    /// Every pair whose relation is pinned to a singleton, with provenance
+    /// — user-specified pairs included. Ordered by node pair.
+    pub fn pinned(&self) -> Vec<DerivedFact<N>> {
+        let mut out: Vec<DerivedFact<N>> = self
+            .edges
+            .iter()
+            .filter_map(|(&(a, b), e)| {
+                e.set.singleton().map(|rel| DerivedFact {
+                    a,
+                    b,
+                    rel,
+                    roots: sorted(&e.roots),
+                })
+            })
+            .collect();
+        out.sort_by_key(|d| (d.a, d.b));
+        out
+    }
+
+    /// Pinned pairs that were *not* directly asserted (purely derived).
+    pub fn derived_only(&self) -> Vec<DerivedFact<N>> {
+        let direct: HashSet<(N, N)> = self
+            .facts
+            .iter()
+            .filter(|f| f.active)
+            .map(|f| norm(f.a, f.b).0)
+            .collect();
+        self.pinned()
+            .into_iter()
+            .filter(|d| !direct.contains(&norm(d.a, d.b).0))
+            .collect()
+    }
+
+    fn rebuild(&mut self) {
+        self.edges.clear();
+        self.adjacency.clear();
+        // Integrability marks are user intent attached to facts; rebuild
+        // them from the facts that survive so retracting a later
+        // assertion cannot erase the mark of an earlier one.
+        self.integrable_dr = self
+            .facts
+            .iter()
+            .filter(|f| f.active && f.assertion == Some(Assertion::DisjointIntegrable))
+            .map(|f| norm(f.a, f.b).0)
+            .collect();
+        let facts = std::mem::take(&mut self.facts);
+        for (id, f) in facts.iter().enumerate() {
+            if f.active {
+                // Re-applying previously consistent facts cannot conflict.
+                let _ = Self::apply_static(
+                    &mut self.edges,
+                    &mut self.adjacency,
+                    &mut self.nodes,
+                    f.a,
+                    f.b,
+                    f.set,
+                    Some(id),
+                    &mut Vec::new(),
+                );
+            }
+        }
+        self.facts = facts;
+    }
+
+    fn apply(
+        &mut self,
+        a: N,
+        b: N,
+        set: Rel5Set,
+        assertion: Option<Assertion>,
+        source: FactSource,
+        name: &impl Fn(N) -> String,
+    ) -> Result<Vec<DerivedFact<N>>, ConflictReport> {
+        let existing = self.constraint(a, b);
+        if existing.intersect(set).is_empty() {
+            // Contradiction: report without mutating.
+            let ((x, y), _) = norm(a, b);
+            let roots = self
+                .edges
+                .get(&(x, y))
+                .map(|e| sorted(&e.roots))
+                .unwrap_or_default();
+            return Err(self.conflict_report(a, b, existing, assertion, roots, name));
+        }
+        let fact_id = self.facts.len();
+        self.facts.push(Fact {
+            a,
+            b,
+            set,
+            assertion,
+            source,
+            active: true,
+        });
+        let mut pinned_now: Vec<(N, N)> = Vec::new();
+        let outcome = Self::apply_static(
+            &mut self.edges,
+            &mut self.adjacency,
+            &mut self.nodes,
+            a,
+            b,
+            set,
+            Some(fact_id),
+            &mut pinned_now,
+        );
+        match outcome {
+            Ok(()) => {
+                // Newly pinned singletons (excluding the asserted pair),
+                // collected during propagation.
+                let target = norm(a, b).0;
+                pinned_now.sort_unstable();
+                pinned_now.dedup();
+                let mut derived: Vec<DerivedFact<N>> = pinned_now
+                    .into_iter()
+                    .filter(|&k| k != target)
+                    .filter_map(|(x, y)| {
+                        let e = self.edges.get(&(x, y))?;
+                        e.set.singleton().map(|rel| DerivedFact {
+                            a: x,
+                            b: y,
+                            rel,
+                            roots: sorted(&e.roots),
+                        })
+                    })
+                    .collect();
+                derived.sort_by_key(|d| (d.a, d.b));
+                Ok(derived)
+            }
+            Err((x, y)) => {
+                // Propagation emptied pair (x, y): undo by rebuilding
+                // without the new fact, then report. The rejected fact
+                // itself is excluded from the support list — Screen 9
+                // shows it as the <new> row, not as a premise.
+                self.facts[fact_id].active = false;
+                let roots_of_conflict: Vec<FactId> = self
+                    .edges
+                    .get(&(x, y))
+                    .map(|e| sorted(&e.roots))
+                    .unwrap_or_default()
+                    .into_iter()
+                    .filter(|&id| id != fact_id)
+                    .collect();
+                self.rebuild();
+                let existing = self.constraint(x, y);
+                let report = self.conflict_report(x, y, existing, assertion, roots_of_conflict, name);
+                // Remove the dead fact record entirely (it never held).
+                self.facts.pop();
+                Err(report)
+            }
+        }
+    }
+
+    /// Core propagation; static so `rebuild` can call it while iterating
+    /// `self.facts`. Returns the pair that became empty on contradiction.
+    #[allow(clippy::type_complexity, clippy::too_many_arguments)]
+    fn apply_static(
+        edges: &mut HashMap<(N, N), Edge>,
+        adjacency: &mut HashMap<N, HashSet<N>>,
+        nodes: &mut HashSet<N>,
+        a: N,
+        b: N,
+        set: Rel5Set,
+        fact: Option<FactId>,
+        pinned_now: &mut Vec<(N, N)>,
+    ) -> Result<(), (N, N)> {
+        nodes.insert(a);
+        nodes.insert(b);
+        let mut queue: VecDeque<(N, N)> = VecDeque::new();
+        let seed_roots: Vec<FactId> = fact.into_iter().collect();
+        Self::refine(edges, adjacency, a, b, set, seed_roots, &mut queue, pinned_now)?;
+        while let Some((x, y)) = queue.pop_front() {
+            // Propagate through every triangle containing edge (x, y).
+            let neighbors: Vec<N> = adjacency
+                .get(&x)
+                .into_iter()
+                .flatten()
+                .chain(adjacency.get(&y).into_iter().flatten())
+                .copied()
+                .filter(|&k| k != x && k != y)
+                .collect();
+            for k in neighbors {
+                // (x,k) refined by (x,y) ∘ (y,k)
+                let xy = Self::get_set(edges, x, y);
+                let yk = Self::get_set(edges, y, k);
+                // Provenance is gathered only when a refinement actually
+                // tightens the edge (the common case is no change, and
+                // collecting roots there dominated propagation cost).
+                if !yk.is_universal() {
+                    let composed = xy.compose(yk);
+                    if Self::would_refine(edges, x, k, composed) {
+                        let mut roots = Self::get_roots(edges, x, y);
+                        roots.extend(Self::get_roots(edges, y, k));
+                        Self::refine(
+                            edges, adjacency, x, k, composed, roots, &mut queue, pinned_now,
+                        )?;
+                    }
+                }
+                // (k,y) refined by (k,x) ∘ (x,y)
+                let kx = Self::get_set(edges, k, x);
+                let xy = Self::get_set(edges, x, y);
+                if !kx.is_universal() {
+                    let composed = kx.compose(xy);
+                    if Self::would_refine(edges, k, y, composed) {
+                        let mut roots = Self::get_roots(edges, k, x);
+                        roots.extend(Self::get_roots(edges, x, y));
+                        Self::refine(
+                            edges, adjacency, k, y, composed, roots, &mut queue, pinned_now,
+                        )?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Constraint set for `(a, b)` in that orientation.
+    fn get_set(edges: &HashMap<(N, N), Edge>, a: N, b: N) -> Rel5Set {
+        let ((x, y), flipped) = norm(a, b);
+        match edges.get(&(x, y)) {
+            Some(e) if flipped => e.set.converse(),
+            Some(e) => e.set,
+            None => Rel5Set::ALL,
+        }
+    }
+
+    /// Would intersecting the `(a, b)` constraint with `set` change it?
+    fn would_refine(edges: &HashMap<(N, N), Edge>, a: N, b: N, set: Rel5Set) -> bool {
+        if a == b {
+            return !set.contains(Rel5::Eq);
+        }
+        let current = Self::get_set(edges, a, b);
+        current.intersect(set) != current
+    }
+
+    /// Supporting fact ids of the `(a, b)` edge.
+    fn get_roots(edges: &HashMap<(N, N), Edge>, a: N, b: N) -> Vec<FactId> {
+        let ((x, y), _) = norm(a, b);
+        edges
+            .get(&(x, y))
+            .map(|e| e.roots.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn refine(
+        edges: &mut HashMap<(N, N), Edge>,
+        adjacency: &mut HashMap<N, HashSet<N>>,
+        a: N,
+        b: N,
+        set: Rel5Set,
+        roots: Vec<FactId>,
+        queue: &mut VecDeque<(N, N)>,
+        pinned_now: &mut Vec<(N, N)>,
+    ) -> Result<(), (N, N)> {
+        if a == b {
+            // Self-pairs are always EQ; a constraint excluding EQ on a
+            // self-pair cannot arise from valid input.
+            return if set.contains(Rel5::Eq) {
+                Ok(())
+            } else {
+                Err((a, b))
+            };
+        }
+        let ((x, y), flipped) = norm(a, b);
+        let set = if flipped { set.converse() } else { set };
+        let entry = edges.entry((x, y)).or_insert_with(|| Edge {
+            set: Rel5Set::ALL,
+            roots: HashSet::new(),
+        });
+        let new = entry.set.intersect(set);
+        if new == entry.set {
+            return Ok(());
+        }
+        entry.set = new;
+        entry.roots.extend(roots);
+        if new.is_empty() {
+            return Err((x, y));
+        }
+        if new.singleton().is_some() {
+            pinned_now.push((x, y));
+        }
+        adjacency.entry(x).or_default().insert(y);
+        adjacency.entry(y).or_default().insert(x);
+        queue.push_back((x, y));
+        Ok(())
+    }
+
+    fn conflict_report(
+        &self,
+        a: N,
+        b: N,
+        existing: Rel5Set,
+        rejected: Option<Assertion>,
+        roots: Vec<FactId>,
+        name: &impl Fn(N) -> String,
+    ) -> ConflictReport {
+        let supports = roots
+            .into_iter()
+            .filter_map(|id| self.facts.get(id))
+            .map(|f| ConflictSupport {
+                a: name(f.a),
+                b: name(f.b),
+                label: match f.assertion {
+                    Some(assertion) => assertion.code().to_string(),
+                    None => f
+                        .set
+                        .singleton()
+                        .map(|r| r.tag().to_owned())
+                        .unwrap_or_else(|| f.set.to_string()),
+                },
+                from_user: f.source == FactSource::User,
+            })
+            .collect();
+        ConflictReport {
+            pair: (name(a), name(b)),
+            existing,
+            rejected: rejected.unwrap_or(Assertion::DisjointNonIntegrable),
+            supports,
+        }
+    }
+}
+
+fn sorted(s: &HashSet<FactId>) -> Vec<FactId> {
+    let mut v: Vec<FactId> = s.iter().copied().collect();
+    v.sort_unstable();
+    v
+}
+
+/// Naive path consistency: recompute from scratch over all node triples
+/// until a fixpoint — the textbook algorithm the incremental worklist
+/// engine is benchmarked against (the ⚗ ablation of DESIGN.md §6.3).
+/// Returns the non-universal constraints, or the pair that became empty.
+///
+/// Results agree with [`AssertionEngine`] on the same input facts (both
+/// compute the path-consistent closure), which the tests verify.
+pub fn naive_path_consistency<N>(
+    facts: &[(N, N, Rel5Set)],
+) -> std::result::Result<HashMap<(N, N), Rel5Set>, (N, N)>
+where
+    N: Copy + Eq + Ord + Hash,
+{
+    let mut nodes: Vec<N> = facts.iter().flat_map(|&(a, b, _)| [a, b]).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    let mut cons: HashMap<(N, N), Rel5Set> = HashMap::new();
+    fn get<N: Copy + Eq + Ord + Hash>(
+        cons: &HashMap<(N, N), Rel5Set>,
+        a: N,
+        b: N,
+    ) -> Rel5Set {
+        if a == b {
+            return Rel5Set::only(Rel5::Eq);
+        }
+        let ((x, y), flipped) = norm(a, b);
+        let set = cons.get(&(x, y)).copied().unwrap_or(Rel5Set::ALL);
+        if flipped {
+            set.converse()
+        } else {
+            set
+        }
+    }
+    fn put<N: Copy + Eq + Ord + Hash>(
+        cons: &mut HashMap<(N, N), Rel5Set>,
+        a: N,
+        b: N,
+        set: Rel5Set,
+    ) -> bool {
+        let ((x, y), flipped) = norm(a, b);
+        let set = if flipped { set.converse() } else { set };
+        let entry = cons.entry((x, y)).or_insert(Rel5Set::ALL);
+        let new = entry.intersect(set);
+        let changed = new != *entry;
+        *entry = new;
+        changed
+    }
+    for &(a, b, set) in facts {
+        if a == b {
+            if !set.contains(Rel5::Eq) {
+                return Err((a, b));
+            }
+            continue;
+        }
+        put(&mut cons, a, b, set);
+        if get(&cons, a, b).is_empty() {
+            return Err(norm(a, b).0);
+        }
+    }
+    // Fixpoint over all triples.
+    loop {
+        let mut changed = false;
+        for &i in &nodes {
+            for &j in &nodes {
+                if i == j {
+                    continue;
+                }
+                for &k in &nodes {
+                    if k == i || k == j {
+                        continue;
+                    }
+                    let ik = get(&cons, i, k);
+                    let kj = get(&cons, k, j);
+                    if ik.is_universal() && kj.is_universal() {
+                        continue;
+                    }
+                    let composed = ik.compose(kj);
+                    changed |= put(&mut cons, i, j, composed);
+                    if get(&cons, i, j).is_empty() {
+                        return Err(norm(i, j).0);
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    cons.retain(|_, set| !set.is_universal());
+    Ok(cons)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type E = AssertionEngine<u32>;
+
+    fn nm(n: u32) -> String {
+        format!("n{n}")
+    }
+
+    #[test]
+    fn transitive_containment_is_derived() {
+        // Screen 9's derivation: Instructor ⊆ Grad ∧ Grad ⊆ Student
+        //   ⇒ Instructor ⊆ Student.
+        let mut e = E::new();
+        e.assert(0, 1, Assertion::ContainedIn, nm).unwrap();
+        let derived = e.assert(1, 2, Assertion::ContainedIn, nm).unwrap();
+        assert_eq!(e.known(0, 2), Some(Rel5::Pp));
+        assert!(derived
+            .iter()
+            .any(|d| (d.a, d.b, d.rel) == (0, 2, Rel5::Pp)));
+        // And the converse orientation reads as Contains.
+        assert_eq!(e.known(2, 0), Some(Rel5::Ppi));
+        assert_eq!(e.effective(0, 2), Some(Assertion::ContainedIn));
+    }
+
+    #[test]
+    fn paper_intro_conflict_example() {
+        // "if Employee is equivalent to Person, and Person is equivalent to
+        //  Worker, then Worker cannot be a subset of Employee."
+        let mut e = E::new();
+        e.assert(0, 1, Assertion::Equal, nm).unwrap(); // Employee ≡ Person
+        e.assert(1, 2, Assertion::Equal, nm).unwrap(); // Person ≡ Worker
+        let err = e.assert(2, 0, Assertion::ContainedIn, nm).unwrap_err();
+        assert_eq!(err.rejected, Assertion::ContainedIn);
+        assert_eq!(err.existing, Rel5Set::only(Rel5::Eq));
+        assert_eq!(err.supports.len(), 2);
+        // State unchanged: the pair still reads EQ, facts still 2.
+        assert_eq!(e.known(2, 0), Some(Rel5::Eq));
+        assert_eq!(e.facts().iter().filter(|f| f.active).count(), 2);
+    }
+
+    #[test]
+    fn screen9_conflict_has_derivation_chain() {
+        // sc3.Instructor(0) ⊆ sc4.Grad_student(1) [user],
+        // sc4.Grad_student(1) ⊆ sc4.Student(2)    [intra-schema seed],
+        // then the DDA asserts Instructor disjoint Student → conflict,
+        // with both supporting facts listed.
+        let mut e = E::new();
+        e.seed(1, 2, Rel5::Pp, nm).unwrap();
+        e.assert(0, 1, Assertion::ContainedIn, nm).unwrap();
+        let err = e
+            .assert(0, 2, Assertion::DisjointNonIntegrable, nm)
+            .unwrap_err();
+        assert_eq!(err.existing, Rel5Set::only(Rel5::Pp));
+        assert_eq!(err.supports.len(), 2);
+        let labels: Vec<&str> = err.supports.iter().map(|s| s.label.as_str()).collect();
+        assert!(labels.contains(&"2"), "user assertion code 2: {labels:?}");
+        assert!(labels.contains(&"PP"), "structural seed: {labels:?}");
+    }
+
+    #[test]
+    fn indirect_conflict_detected_during_propagation() {
+        // 0 ⊆ 1, 2 ⊇ 1 asserted; then 0 DR 2 is impossible
+        // (0 ⊆ 1 ⊆ 2 forces 0 ⊆ 2).
+        let mut e = E::new();
+        e.assert(0, 1, Assertion::ContainedIn, nm).unwrap();
+        e.assert(2, 1, Assertion::Contains, nm).unwrap();
+        assert_eq!(e.known(0, 2), Some(Rel5::Pp));
+        let err = e
+            .assert(0, 2, Assertion::DisjointNonIntegrable, nm)
+            .unwrap_err();
+        assert!(!err.supports.is_empty());
+        // Engine state must be intact after the rejected assertion.
+        assert_eq!(e.known(0, 2), Some(Rel5::Pp));
+    }
+
+    #[test]
+    fn retract_reopens_the_pair() {
+        let mut e = E::new();
+        e.assert(0, 1, Assertion::ContainedIn, nm).unwrap();
+        e.assert(1, 2, Assertion::ContainedIn, nm).unwrap();
+        assert_eq!(e.known(0, 2), Some(Rel5::Pp));
+        assert!(e.retract(0, 1));
+        assert_eq!(e.known(0, 2), None, "derivation gone with its premise");
+        assert_eq!(e.known(1, 2), Some(Rel5::Pp), "other fact survives");
+        assert!(!e.retract(0, 1), "nothing left to retract");
+        // Now the previously conflicting assertion is accepted.
+        e.assert(0, 2, Assertion::DisjointNonIntegrable, nm).unwrap();
+        assert_eq!(e.known(0, 2), Some(Rel5::Dr));
+    }
+
+    #[test]
+    fn disjoint_propagates_down_containment() {
+        // a ⊆ b, b DR c ⇒ a DR c (PP ∘ DR = DR).
+        let mut e = E::new();
+        e.assert(0, 1, Assertion::ContainedIn, nm).unwrap();
+        let derived = e
+            .assert(1, 2, Assertion::DisjointNonIntegrable, nm)
+            .unwrap();
+        assert!(derived
+            .iter()
+            .any(|d| (d.a, d.b, d.rel) == (0, 2, Rel5::Dr)));
+    }
+
+    #[test]
+    fn overlap_composes_to_disjunctions_not_singletons() {
+        // a PO b, b PO c pins nothing about (a, c).
+        let mut e = E::new();
+        e.assert(0, 1, Assertion::MayBe, nm).unwrap();
+        let derived = e.assert(1, 2, Assertion::MayBe, nm).unwrap();
+        assert!(derived.is_empty());
+        assert_eq!(e.constraint(0, 2), Rel5Set::ALL);
+    }
+
+    #[test]
+    fn integrability_mark_tracked_for_dr_pairs() {
+        let mut e = E::new();
+        e.assert(0, 1, Assertion::DisjointIntegrable, nm).unwrap();
+        assert!(e.is_integrable_dr(0, 1));
+        assert!(e.is_integrable_dr(1, 0));
+        assert_eq!(e.effective(0, 1), Some(Assertion::DisjointIntegrable));
+        e.assert(2, 3, Assertion::DisjointNonIntegrable, nm).unwrap();
+        assert_eq!(e.effective(2, 3), Some(Assertion::DisjointNonIntegrable));
+    }
+
+    #[test]
+    fn derived_only_excludes_direct_assertions() {
+        let mut e = E::new();
+        e.assert(0, 1, Assertion::ContainedIn, nm).unwrap();
+        e.assert(1, 2, Assertion::ContainedIn, nm).unwrap();
+        let d = e.derived_only();
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].a, d[0].b, d[0].rel), (0, 2, Rel5::Pp));
+        assert_eq!(d[0].roots.len(), 2, "both premises recorded");
+        let pinned = e.pinned();
+        assert_eq!(pinned.len(), 3);
+    }
+
+    #[test]
+    fn equality_merges_constraint_views() {
+        // 0 ≡ 1 and 1 ⊆ 2 ⇒ 0 ⊆ 2.
+        let mut e = E::new();
+        e.assert(0, 1, Assertion::Equal, nm).unwrap();
+        e.assert(1, 2, Assertion::ContainedIn, nm).unwrap();
+        assert_eq!(e.known(0, 2), Some(Rel5::Pp));
+    }
+
+    #[test]
+    fn long_chain_propagates() {
+        let mut e = E::new();
+        for i in 0..10u32 {
+            e.assert(i, i + 1, Assertion::ContainedIn, nm).unwrap();
+        }
+        assert_eq!(e.known(0, 10), Some(Rel5::Pp));
+        let err = e
+            .assert(10, 0, Assertion::ContainedIn, nm)
+            .unwrap_err();
+        assert_eq!(err.existing, Rel5Set::only(Rel5::Ppi));
+    }
+
+    #[test]
+    fn naive_and_incremental_closures_agree() {
+        // A mixed fact set with chains, merges and disjointness.
+        let facts: Vec<(u32, u32, Rel5Set)> = vec![
+            (0, 1, Rel5Set::only(Rel5::Pp)),
+            (1, 2, Rel5Set::only(Rel5::Pp)),
+            (3, 2, Rel5Set::only(Rel5::Eq)),
+            (4, 2, Rel5Set::only(Rel5::Dr)),
+            (5, 0, Rel5Set::only(Rel5::Po)),
+        ];
+        let naive = naive_path_consistency(&facts).expect("consistent");
+        let mut engine = E::new();
+        for &(a, b, set) in &facts {
+            let rel = set.singleton().unwrap();
+            engine.seed(a, b, rel, nm).unwrap();
+        }
+        for &a in &[0u32, 1, 2, 3, 4, 5] {
+            for &b in &[0u32, 1, 2, 3, 4, 5] {
+                if a >= b {
+                    continue;
+                }
+                let from_naive = naive.get(&(a, b)).copied().unwrap_or(Rel5Set::ALL);
+                assert_eq!(
+                    engine.constraint(a, b),
+                    from_naive,
+                    "({a},{b}) incremental vs naive"
+                );
+            }
+        }
+        // Both reject the same contradiction.
+        let mut bad = facts.clone();
+        bad.push((0, 2, Rel5Set::only(Rel5::Dr)));
+        assert!(naive_path_consistency(&bad).is_err());
+        assert!(engine
+            .assert(0, 2, Assertion::DisjointNonIntegrable, nm)
+            .is_err());
+    }
+
+    #[test]
+    fn conflict_supports_exclude_the_rejected_fact() {
+        // 0 ⊆ 1 asserted; asserting 1 ⊆ 0 conflicts *via propagation*
+        // on the (0,1) pair itself... use a third-party pair: 0 ≡ 1 and
+        // 1 ≡ 2, then 0 DR 2 empties (0,2) during propagation. The report
+        // must cite only the two premises, never the rejected fact.
+        let mut e = E::new();
+        e.assert(0, 1, Assertion::Equal, nm).unwrap();
+        e.assert(1, 2, Assertion::Equal, nm).unwrap();
+        let err = e
+            .assert(0, 2, Assertion::DisjointNonIntegrable, nm)
+            .unwrap_err();
+        assert_eq!(err.supports.len(), 2, "{err}");
+        assert!(err.supports.iter().all(|s| s.label == "1"), "{err}");
+    }
+
+    #[test]
+    fn retract_preserves_earlier_integrability_mark() {
+        let mut e = E::new();
+        e.assert(0, 1, Assertion::DisjointIntegrable, nm).unwrap();
+        e.assert(0, 1, Assertion::DisjointNonIntegrable, nm).unwrap();
+        // Retract the later (non-integrable) assertion: the earlier
+        // integrable intent must survive the rebuild.
+        assert!(e.retract(0, 1));
+        assert!(e.is_integrable_dr(0, 1));
+        assert_eq!(e.effective(0, 1), Some(Assertion::DisjointIntegrable));
+        // Retracting the remaining fact clears it.
+        assert!(e.retract(0, 1));
+        assert!(!e.is_integrable_dr(0, 1));
+    }
+
+    #[test]
+    fn self_assertion_constraint() {
+        let e = E::new();
+        assert_eq!(e.constraint(3, 3), Rel5Set::only(Rel5::Eq));
+    }
+}

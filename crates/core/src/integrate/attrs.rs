@@ -1,0 +1,191 @@
+//! Attribute placement during integration.
+//!
+//! Rules (from §2, §3.5 and the Component Attribute Screen):
+//!
+//! * Within an `E_` merge, attributes in the same equivalence class
+//!   collapse into a single derived attribute carrying every component.
+//! * Along a containment edge, an attribute of the contained class that is
+//!   equivalent to an attribute of a (transitive) container is *absorbed*
+//!   into the container's attribute — Screen 12's `D_Name` on `Student`
+//!   combines `sc1.Student.Name` with `sc2.Grad_student.Name`; the
+//!   contained class keeps only its specific attributes.
+//! * Attributes of the two children of a derived superclass are pulled up
+//!   into it only when [`IntegrationOptions::pull_up_common_attrs`] is set
+//!   (the paper's tool leaves them down).
+//! * A derived attribute is a key only when every component is a key, and
+//!   its domain is the least generalization of the component domains.
+
+use std::collections::HashMap;
+
+use sit_ecr::{Domain, ObjectKind};
+
+use super::names::merged_attr_name;
+use super::objects::Lattice;
+use super::{ComponentAttrInfo, IntegrationOptions};
+use crate::catalog::{Catalog, GAttr, GObj};
+use crate::equivalence::{ClassNo, EquivalenceRegistry};
+
+/// One attribute slot of an integrated object class, before final naming.
+#[derive(Clone, Debug)]
+pub(super) struct Placement {
+    /// Equivalence class of the slot (drives absorption).
+    pub class: Option<ClassNo>,
+    /// Generalized domain.
+    pub domain: Domain,
+    /// Key only when every component is a key.
+    pub key: bool,
+    /// Component provenance, in `(schema, object)` order.
+    pub components: Vec<ComponentAttrInfo>,
+}
+
+impl Placement {
+    /// The integrated attribute name per the paper's `D_` conventions.
+    pub fn name(&self) -> String {
+        let names: Vec<&str> = self
+            .components
+            .iter()
+            .map(|c| c.attr.name.as_str())
+            .collect();
+        merged_attr_name(&names)
+    }
+
+    fn absorb(&mut self, other: Placement) {
+        for c in other.components {
+            if !self.components.contains(&c) {
+                self.domain = self.domain.generalize(&c.attr.domain);
+                self.key = self.key && c.attr.is_key();
+                self.components.push(c);
+            }
+        }
+    }
+}
+
+/// Compute the attribute slots of every lattice node (indexed like
+/// `lattice.nodes`).
+pub(super) fn place_attributes(
+    catalog: &Catalog,
+    equiv: &EquivalenceRegistry,
+    lattice: &Lattice,
+    options: &IntegrationOptions,
+) -> Vec<Vec<Placement>> {
+    let n = lattice.nodes.len();
+    let mut placed: Vec<Vec<Placement>> = vec![Vec::new(); n];
+    // class → nodes (and slot index) where an attribute of that class is
+    // already placed.
+    let mut class_sites: HashMap<ClassNo, Vec<(usize, usize)>> = HashMap::new();
+
+    for &i in &lattice.topo {
+        let node = &lattice.nodes[i];
+        let groups = if let Some((x, y)) = node.derived_children {
+            if options.pull_up_common_attrs {
+                pulled_up_groups(catalog, equiv, lattice, x, y)
+            } else {
+                Vec::new()
+            }
+        } else {
+            member_groups(catalog, equiv, &node.members)
+        };
+        let ancestors = lattice.ancestors(i);
+        for group in groups {
+            // Absorb into the nearest ancestor already holding the class.
+            let site = group.class.and_then(|c| {
+                let sites = class_sites.get(&c)?;
+                ancestors
+                    .iter()
+                    .find_map(|a| sites.iter().find(|(node, _)| node == a))
+                    .copied()
+            });
+            match site {
+                Some((anode, slot)) => {
+                    placed[anode][slot].absorb(group);
+                }
+                None => {
+                    let slot = placed[i].len();
+                    if let Some(c) = group.class {
+                        class_sites.entry(c).or_default().push((i, slot));
+                    }
+                    placed[i].push(group);
+                }
+            }
+        }
+    }
+
+    // Pulled-up classes must not re-place on the children: when pull-up is
+    // enabled the children's groups were computed after the derived parent
+    // in topo order, so absorption above already routed them upward.
+    placed
+}
+
+/// Group the attributes of a node's member objects by equivalence class.
+fn member_groups(
+    catalog: &Catalog,
+    equiv: &EquivalenceRegistry,
+    members: &[GObj],
+) -> Vec<Placement> {
+    let mut by_class: Vec<Placement> = Vec::new();
+    let mut class_slot: HashMap<ClassNo, usize> = HashMap::new();
+    for &m in members {
+        let schema = catalog.schema(m.schema);
+        let obj = schema.object(m.object);
+        for (aid, attr) in obj.attributes.iter().enumerate() {
+            let ga = GAttr::object(m.schema, m.object, sit_ecr::AttrId::new(aid as u32));
+            let class = equiv.class_no(ga);
+            let info = ComponentAttrInfo {
+                schema: schema.name().to_owned(),
+                owner: obj.name.clone(),
+                owner_kind: owner_kind(&obj.kind),
+                attr: attr.clone(),
+            };
+            match class.and_then(|c| class_slot.get(&c).copied()) {
+                Some(slot) => by_class[slot].absorb(Placement {
+                    class,
+                    domain: attr.domain.clone(),
+                    key: attr.is_key(),
+                    components: vec![info],
+                }),
+                None => {
+                    if let Some(c) = class {
+                        class_slot.insert(c, by_class.len());
+                    }
+                    by_class.push(Placement {
+                        class,
+                        domain: attr.domain.clone(),
+                        key: attr.is_key(),
+                        components: vec![info],
+                    });
+                }
+            }
+        }
+    }
+    by_class
+}
+
+/// Classes present (via members) in both children of a derived node, as
+/// merged placements — the optional pull-up.
+fn pulled_up_groups(
+    catalog: &Catalog,
+    equiv: &EquivalenceRegistry,
+    lattice: &Lattice,
+    x: usize,
+    y: usize,
+) -> Vec<Placement> {
+    let gx = member_groups(catalog, equiv, &lattice.nodes[x].members);
+    let gy = member_groups(catalog, equiv, &lattice.nodes[y].members);
+    let mut out = Vec::new();
+    for px in gx {
+        let Some(c) = px.class else { continue };
+        if let Some(py) = gy.iter().find(|p| p.class == Some(c)) {
+            let mut merged = px.clone();
+            merged.absorb(py.clone());
+            out.push(merged);
+        }
+    }
+    out
+}
+
+fn owner_kind(kind: &ObjectKind) -> char {
+    match kind {
+        ObjectKind::EntitySet => 'E',
+        ObjectKind::Category { .. } => 'C',
+    }
+}

@@ -1,0 +1,369 @@
+//! The integration session — one façade over the four phases.
+//!
+//! A [`Session`] corresponds to one run of the paper's tool: schemas are
+//! collected (phase 1), attribute equivalences declared (phase 2),
+//! assertions specified with automatic derivation and conflict checks
+//! (phase 3), and pairs of schemas integrated (phase 4). `sit-tui`'s
+//! screens drive exactly this API; tests and examples use it directly.
+//!
+//! On registration each schema seeds the object assertion engine with its
+//! structural facts: every category is a proper part of each single
+//! parent, and distinct *root* entity sets are pairwise disjoint (the ECR
+//! rule "a given entity can be a member of only one entity set"). Those
+//! seeds are what let Screen 9's conflict derivation cite
+//! `sc4.Grad_student ⊆ sc4.Student` without the DDA ever typing it.
+
+use sit_ecr::{Schema, SchemaId};
+
+use crate::assertion::{Assertion, Rel5};
+use crate::catalog::{Catalog, GAttr, GObj, GRel};
+use crate::closure::{AssertionEngine, DerivedFact};
+use crate::equivalence::EquivalenceRegistry;
+use crate::error::{CoreError, Result};
+use crate::integrate::{integrate, IntegratedSchema, IntegrationOptions};
+use crate::mapping::Mappings;
+use crate::resemblance::{ranked_pairs, ranked_rel_pairs, CandidatePair};
+
+/// One interactive integration session.
+#[derive(Clone, Debug, Default)]
+pub struct Session {
+    catalog: Catalog,
+    equiv: EquivalenceRegistry,
+    obj_engine: AssertionEngine<GObj>,
+    rel_engine: AssertionEngine<GRel>,
+}
+
+impl Session {
+    /// Fresh, empty session.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 1: schema collection
+    // ------------------------------------------------------------------
+
+    /// Register a component schema; seeds structural facts and registers
+    /// every attribute in its own equivalence class.
+    pub fn add_schema(&mut self, schema: Schema) -> Result<SchemaId> {
+        let sid = self.catalog.add(schema)?;
+        self.equiv.register_schema(&self.catalog, sid);
+        self.seed_structure(sid)?;
+        Ok(sid)
+    }
+
+    fn seed_structure(&mut self, sid: SchemaId) -> Result<()> {
+        let schema = self.catalog.schema(sid);
+        let graph = sit_ecr::IsaGraph::of(schema);
+        let mut pp_edges = Vec::new();
+        let mut dr_edges = Vec::new();
+        // Categories: proper part of each parent (single- or multi-parent;
+        // a category over a union is still contained in each... only for
+        // single-parent categories is PP to the parent sound, so restrict).
+        for (oid, obj) in schema.objects() {
+            let parents = obj.parents();
+            if parents.len() == 1 {
+                pp_edges.push((GObj::new(sid, oid), GObj::new(sid, parents[0])));
+            }
+        }
+        // Root entity sets are pairwise disjoint.
+        let roots = graph.roots();
+        for (i, &a) in roots.iter().enumerate() {
+            for &b in roots.iter().skip(i + 1) {
+                dr_edges.push((GObj::new(sid, a), GObj::new(sid, b)));
+            }
+        }
+        let catalog = &self.catalog;
+        let name = |o: GObj| catalog.obj_display(o);
+        for (a, b) in pp_edges {
+            self.obj_engine
+                .seed(a, b, Rel5::Pp, name)
+                .map_err(|r| CoreError::Conflict(Box::new(r)))?;
+        }
+        for (a, b) in dr_edges {
+            self.obj_engine
+                .seed(a, b, Rel5::Dr, name)
+                .map_err(|r| CoreError::Conflict(Box::new(r)))?;
+        }
+        // Distinct relationship sets of one schema are distinct tuple
+        // sets.
+        let rels: Vec<GRel> = self.catalog.rels_of(sid).collect();
+        let name_r = |r: GRel| catalog.rel_display(r);
+        for (i, &a) in rels.iter().enumerate() {
+            for &b in rels.iter().skip(i + 1) {
+                self.rel_engine
+                    .seed(a, b, Rel5::Dr, name_r)
+                    .map_err(|r| CoreError::Conflict(Box::new(r)))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The catalog of registered schemas.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Resolve `schema.object`.
+    pub fn object_named(&self, schema: &str, object: &str) -> Result<GObj> {
+        self.catalog.object_named(schema, object)
+    }
+
+    /// Resolve `schema.relationship`.
+    pub fn rel_named(&self, schema: &str, rel: &str) -> Result<GRel> {
+        self.catalog.rel_named(schema, rel)
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 2: equivalence classes
+    // ------------------------------------------------------------------
+
+    /// Declare two attributes equivalent (merging their classes).
+    pub fn declare_equivalent(&mut self, a: GAttr, b: GAttr) -> Result<()> {
+        self.equiv.declare_equivalent(&self.catalog, a, b)
+    }
+
+    /// Name-based convenience for [`Session::declare_equivalent`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn declare_equivalent_named(
+        &mut self,
+        schema_a: &str,
+        owner_a: &str,
+        attr_a: &str,
+        schema_b: &str,
+        owner_b: &str,
+        attr_b: &str,
+    ) -> Result<()> {
+        let a = self.catalog.attr_named(schema_a, owner_a, attr_a)?;
+        let b = self.catalog.attr_named(schema_b, owner_b, attr_b)?;
+        self.declare_equivalent(a, b)
+    }
+
+    /// Remove an attribute from its equivalence class (Screen 7 delete).
+    pub fn remove_from_class(&mut self, a: GAttr) -> bool {
+        self.equiv.remove_from_class(a)
+    }
+
+    /// The equivalence registry (ACS state).
+    pub fn equivalences(&self) -> &EquivalenceRegistry {
+        &self.equiv
+    }
+
+    /// The ranked object-pair candidates between two schemas (Screen 8's
+    /// row order).
+    pub fn candidates(&self, sa: SchemaId, sb: SchemaId) -> Vec<CandidatePair<GObj>> {
+        ranked_pairs(&self.catalog, &self.equiv, sa, sb)
+    }
+
+    /// The ranked relationship-pair candidates between two schemas.
+    pub fn rel_candidates(&self, sa: SchemaId, sb: SchemaId) -> Vec<CandidatePair<GRel>> {
+        ranked_rel_pairs(&self.catalog, &self.equiv, sa, sb)
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 3: assertions
+    // ------------------------------------------------------------------
+
+    /// Assert a relationship between two object classes of *different*
+    /// schemas. Returns the newly derived assertions; a contradiction
+    /// leaves the session unchanged and returns
+    /// [`CoreError::Conflict`].
+    pub fn assert_objects(
+        &mut self,
+        a: GObj,
+        b: GObj,
+        assertion: Assertion,
+    ) -> Result<Vec<DerivedFact<GObj>>> {
+        if a == b {
+            return Err(CoreError::SelfAssertion(a));
+        }
+        if a.schema == b.schema {
+            return Err(CoreError::SameSchemaAssertion(format!(
+                "{} vs {}",
+                self.catalog.obj_display(a),
+                self.catalog.obj_display(b)
+            )));
+        }
+        let catalog = &self.catalog;
+        self.obj_engine
+            .assert(a, b, assertion, |o| catalog.obj_display(o))
+            .map_err(|r| CoreError::Conflict(Box::new(r)))
+    }
+
+    /// Assert a relationship between two relationship sets of different
+    /// schemas.
+    pub fn assert_rels(
+        &mut self,
+        a: GRel,
+        b: GRel,
+        assertion: Assertion,
+    ) -> Result<Vec<DerivedFact<GRel>>> {
+        if a.schema == b.schema {
+            return Err(CoreError::SameSchemaAssertion(format!(
+                "{} vs {}",
+                self.catalog.rel_display(a),
+                self.catalog.rel_display(b)
+            )));
+        }
+        let catalog = &self.catalog;
+        self.rel_engine
+            .assert(a, b, assertion, |r| catalog.rel_display(r))
+            .map_err(|r| CoreError::Conflict(Box::new(r)))
+    }
+
+    /// Retract the latest user assertion between two object classes
+    /// (conflict repair).
+    pub fn retract_objects(&mut self, a: GObj, b: GObj) -> bool {
+        self.obj_engine.retract(a, b)
+    }
+
+    /// Retract the latest user assertion between two relationship sets.
+    pub fn retract_rels(&mut self, a: GRel, b: GRel) -> bool {
+        self.rel_engine.retract(a, b)
+    }
+
+    /// The effective assertion currently pinned for an object pair.
+    pub fn effective_assertion(&self, a: GObj, b: GObj) -> Option<Assertion> {
+        self.obj_engine.effective(a, b)
+    }
+
+    /// The Entity Assertion matrix of paper §3.4: "assertions between
+    /// every pair of object classes are stored in an Entity Assertion
+    /// matrix, where element (i,j) ... represents the assertion between
+    /// object classes i and j". Rows index `sa`'s objects, columns `sb`'s;
+    /// `None` where no relation is pinned (neither asserted nor
+    /// derivable).
+    pub fn assertion_matrix(&self, sa: SchemaId, sb: SchemaId) -> Vec<Vec<Option<Assertion>>> {
+        let rows: Vec<GObj> = self.catalog.objects_of(sa).collect();
+        let cols: Vec<GObj> = self.catalog.objects_of(sb).collect();
+        rows.iter()
+            .map(|&a| cols.iter().map(|&b| self.obj_engine.effective(a, b)).collect())
+            .collect()
+    }
+
+    /// The object assertion engine (for inspection / screens).
+    pub fn object_engine(&self) -> &AssertionEngine<GObj> {
+        &self.obj_engine
+    }
+
+    /// The relationship assertion engine.
+    pub fn rel_engine(&self) -> &AssertionEngine<GRel> {
+        &self.rel_engine
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 4: integration
+    // ------------------------------------------------------------------
+
+    /// Integrate two registered schemas into a new
+    /// [`IntegratedSchema`].
+    pub fn integrate(
+        &self,
+        sa: SchemaId,
+        sb: SchemaId,
+        options: &IntegrationOptions,
+    ) -> Result<IntegratedSchema> {
+        integrate(
+            &self.catalog,
+            &self.equiv,
+            &self.obj_engine,
+            &self.rel_engine,
+            sa,
+            sb,
+            options,
+        )
+    }
+
+    /// Integrate and also generate the request mappings.
+    pub fn integrate_with_mappings(
+        &self,
+        sa: SchemaId,
+        sb: SchemaId,
+        options: &IntegrationOptions,
+    ) -> Result<(IntegratedSchema, Mappings)> {
+        let integrated = self.integrate(sa, sb, options)?;
+        let mappings = Mappings::new(&self.catalog, &integrated);
+        Ok((integrated, mappings))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sit_ecr::fixtures;
+
+    #[test]
+    fn structural_seeds_power_screen9_derivation() {
+        let mut s = Session::new();
+        s.add_schema(fixtures::sc3()).unwrap();
+        s.add_schema(fixtures::sc4()).unwrap();
+        let instructor = s.object_named("sc3", "Instructor").unwrap();
+        let grad = s.object_named("sc4", "Grad_student").unwrap();
+        let student = s.object_named("sc4", "Student").unwrap();
+        // Intra-schema fact seeded automatically.
+        assert_eq!(s.object_engine().known(grad, student), Some(Rel5::Pp));
+        // User asserts Instructor ⊆ Grad_student; Instructor ⊆ Student
+        // must be derived.
+        let derived = s
+            .assert_objects(instructor, grad, Assertion::ContainedIn)
+            .unwrap();
+        assert!(derived
+            .iter()
+            .any(|d| d.rel == Rel5::Pp
+                && ((d.a, d.b) == (instructor, student) || (d.a, d.b) == (student, instructor))),
+            "derived {derived:?}");
+        // The conflicting Screen 9 assertion is rejected with provenance.
+        let err = s
+            .assert_objects(instructor, student, Assertion::DisjointNonIntegrable)
+            .unwrap_err();
+        match err {
+            CoreError::Conflict(report) => {
+                assert_eq!(report.rejected, Assertion::DisjointNonIntegrable);
+                assert_eq!(report.supports.len(), 2);
+            }
+            other => panic!("expected conflict, got {other}"),
+        }
+        // Repair as the paper suggests: change line 3 to "5" (may be).
+        assert!(s.retract_objects(instructor, grad));
+        s.assert_objects(instructor, grad, Assertion::MayBe).unwrap();
+        assert_eq!(s.object_engine().known(instructor, student), None);
+    }
+
+    #[test]
+    fn entity_set_disjointness_seeded() {
+        let mut s = Session::new();
+        s.add_schema(fixtures::sc1()).unwrap();
+        s.add_schema(fixtures::sc2()).unwrap();
+        let student = s.object_named("sc1", "Student").unwrap();
+        let dept = s.object_named("sc1", "Department").unwrap();
+        assert_eq!(s.object_engine().known(student, dept), Some(Rel5::Dr));
+        // Cross-schema pairs start unconstrained.
+        let grad = s.object_named("sc2", "Grad_student").unwrap();
+        assert_eq!(s.object_engine().known(student, grad), None);
+    }
+
+    #[test]
+    fn same_schema_and_self_assertions_rejected() {
+        let mut s = Session::new();
+        s.add_schema(fixtures::sc2()).unwrap();
+        let grad = s.object_named("sc2", "Grad_student").unwrap();
+        let faculty = s.object_named("sc2", "Faculty").unwrap();
+        assert!(matches!(
+            s.assert_objects(grad, faculty, Assertion::Equal),
+            Err(CoreError::SameSchemaAssertion(_))
+        ));
+        assert!(matches!(
+            s.assert_objects(grad, grad, Assertion::Equal),
+            Err(CoreError::SelfAssertion(_))
+        ));
+    }
+
+    #[test]
+    fn rel_disjointness_seeded_within_schema() {
+        let mut s = Session::new();
+        s.add_schema(fixtures::sc2()).unwrap();
+        let majors = s.rel_named("sc2", "Majors").unwrap();
+        let works = s.rel_named("sc2", "Works").unwrap();
+        assert_eq!(s.rel_engine().known(majors, works), Some(Rel5::Dr));
+    }
+}

@@ -1,0 +1,99 @@
+//! Attributes of object classes and relationship sets.
+
+use crate::domain::Domain;
+
+/// Whether an attribute (alone) uniquely identifies instances of its owner —
+/// the `Key (y/n)` column of the paper's Attribute Information Collection
+/// Screen (Screen 5).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum KeyStatus {
+    /// The attribute is a key of its owner.
+    Key,
+    /// The attribute is not a key.
+    #[default]
+    NonKey,
+}
+
+impl KeyStatus {
+    /// `true` when this is [`KeyStatus::Key`].
+    #[inline]
+    pub fn is_key(self) -> bool {
+        matches!(self, KeyStatus::Key)
+    }
+
+    /// The `y`/`n` flag shown on the paper's screens.
+    pub fn flag(self) -> char {
+        match self {
+            KeyStatus::Key => 'y',
+            KeyStatus::NonKey => 'n',
+        }
+    }
+}
+
+impl From<bool> for KeyStatus {
+    fn from(b: bool) -> Self {
+        if b {
+            KeyStatus::Key
+        } else {
+            KeyStatus::NonKey
+        }
+    }
+}
+
+/// A named, typed attribute.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Attribute {
+    /// Attribute name, unique within its owner.
+    pub name: String,
+    /// Value domain.
+    pub domain: Domain,
+    /// Key property.
+    pub key: KeyStatus,
+}
+
+impl Attribute {
+    /// A non-key attribute.
+    pub fn new(name: impl Into<String>, domain: Domain) -> Self {
+        Self {
+            name: name.into(),
+            domain,
+            key: KeyStatus::NonKey,
+        }
+    }
+
+    /// A key attribute.
+    pub fn key(name: impl Into<String>, domain: Domain) -> Self {
+        Self {
+            name: name.into(),
+            domain,
+            key: KeyStatus::Key,
+        }
+    }
+
+    /// `true` when the attribute is a key of its owner.
+    #[inline]
+    pub fn is_key(&self) -> bool {
+        self.key.is_key()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_key_status() {
+        let a = Attribute::new("GPA", Domain::Real);
+        assert!(!a.is_key());
+        assert_eq!(a.key.flag(), 'n');
+        let k = Attribute::key("Name", Domain::Char);
+        assert!(k.is_key());
+        assert_eq!(k.key.flag(), 'y');
+    }
+
+    #[test]
+    fn key_status_from_bool() {
+        assert_eq!(KeyStatus::from(true), KeyStatus::Key);
+        assert_eq!(KeyStatus::from(false), KeyStatus::NonKey);
+    }
+}

@@ -1,0 +1,117 @@
+//! Pretty-printer: the inverse of [`crate::ddl::parse`].
+//!
+//! `parse(print(s)) == s` for every valid schema, which the property tests
+//! in the workspace `tests/` crate verify on generated schemas.
+
+use std::fmt::Write as _;
+
+use crate::object::ObjectKind;
+use crate::schema::Schema;
+
+/// Render a schema in DDL syntax.
+pub fn print(schema: &Schema) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "schema {} {{", schema.name());
+    for (_, obj) in schema.objects() {
+        match &obj.kind {
+            ObjectKind::EntitySet => {
+                let _ = writeln!(out, "  entity {} {{", obj.name);
+            }
+            ObjectKind::Category { parents } => {
+                let names: Vec<&str> = parents
+                    .iter()
+                    .map(|&p| schema.object(p).name.as_str())
+                    .collect();
+                let _ = writeln!(out, "  category {} of {} {{", obj.name, names.join(", "));
+            }
+        }
+        for a in &obj.attributes {
+            let key = if a.is_key() { " key" } else { "" };
+            let _ = writeln!(out, "    {}: {}{};", a.name, a.domain.tag(), key);
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    for (_, rel) in schema.relationships() {
+        let _ = writeln!(out, "  relationship {} {{", rel.name);
+        for p in &rel.participants {
+            let role = match &p.role {
+                Some(r) => format!(" role {r}"),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "    {} {}{};",
+                schema.object(p.object).name,
+                p.cardinality,
+                role
+            );
+        }
+        for a in &rel.attributes {
+            let key = if a.is_key() { " key" } else { "" };
+            let _ = writeln!(out, "    {}: {}{};", a.name, a.domain.tag(), key);
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddl::parse;
+    use crate::domain::Domain;
+    use crate::relationship::Cardinality;
+    use crate::schema::SchemaBuilder;
+
+    #[test]
+    fn print_parse_roundtrip() {
+        let mut b = SchemaBuilder::new("rt");
+        let person = b
+            .entity_set("Person")
+            .attr_key("SSN", Domain::Int)
+            .attr("Name", Domain::Char)
+            .finish();
+        let city = b.entity_set("City").attr_key("Cname", Domain::Char).finish();
+        b.category("Adult", vec![person])
+            .attr("Age", Domain::Int)
+            .finish();
+        b.relationship("LivesIn")
+            .participant_role(person, Cardinality::ONE, "resident")
+            .participant(city, Cardinality::MANY)
+            .attr("Since", Domain::Date)
+            .finish();
+        let s = b.build().unwrap();
+        let text = print(&s);
+        let back = parse(&text).unwrap();
+        assert_eq!(back, s, "printed:\n{text}");
+    }
+
+    #[test]
+    fn cardinality_notation_matches_parser() {
+        let mut b = SchemaBuilder::new("c");
+        let x = b.entity_set("X").finish();
+        let y = b.entity_set("Y").finish();
+        b.relationship("R")
+            .participant(x, Cardinality::at_least(2))
+            .participant(y, Cardinality::new(1, Some(5)))
+            .finish();
+        let s = b.build().unwrap();
+        let text = print(&s);
+        assert!(text.contains("X (2,n);"), "{text}");
+        assert!(text.contains("Y (1,5);"), "{text}");
+        assert_eq!(parse(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn enum_domains_roundtrip() {
+        let mut b = SchemaBuilder::new("e");
+        b.entity_set("G")
+            .attr("Support", Domain::Enum(vec!["TA".into(), "RA".into()]))
+            .finish();
+        let s = b.build().unwrap();
+        let text = print(&s);
+        assert!(text.contains("enum{TA,RA}"), "{text}");
+        assert_eq!(parse(&text).unwrap(), s);
+    }
+}

@@ -1,0 +1,130 @@
+//! Typed, copyable ids for every ECR model element.
+//!
+//! The integration engine in `sit-core` builds dense matrices (ACS, OCS,
+//! assertion matrices) over model elements, so every element is addressed by
+//! a small integer id rather than by name. Ids are scoped: an [`ObjectId`] is
+//! an index into one schema's object table, and cross-schema code pairs it
+//! with a [`SchemaId`].
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $tag:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Raw index, usable as a `Vec` subscript.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a schema within an integration session.
+    SchemaId,
+    "s"
+);
+define_id!(
+    /// Identifies an object class (entity set or category) within one schema.
+    ObjectId,
+    "o"
+);
+define_id!(
+    /// Identifies a relationship set within one schema.
+    RelId,
+    "r"
+);
+define_id!(
+    /// Identifies an attribute within its owning object class or
+    /// relationship set.
+    AttrId,
+    "a"
+);
+
+/// Fully qualified reference to an attribute of an object class:
+/// `schema.object.attribute`, the unit the paper's ACS matrix is indexed by.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AttrRef {
+    /// The schema the attribute's owner belongs to.
+    pub schema: SchemaId,
+    /// The owning object class.
+    pub object: ObjectId,
+    /// The attribute within the owner.
+    pub attr: AttrId,
+}
+
+impl AttrRef {
+    /// Construct a fully qualified attribute reference.
+    pub const fn new(schema: SchemaId, object: ObjectId, attr: AttrId) -> Self {
+        Self {
+            schema,
+            object,
+            attr,
+        }
+    }
+}
+
+impl fmt::Display for AttrRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}.{}", self.schema, self.object, self.attr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip_and_formatting() {
+        let o = ObjectId::new(7);
+        assert_eq!(o.index(), 7);
+        assert_eq!(format!("{o}"), "o7");
+        assert_eq!(format!("{o:?}"), "o7");
+        let s = SchemaId::new(0);
+        assert_eq!(format!("{s}"), "s0");
+        let r = RelId::new(3);
+        assert_eq!(usize::from(r), 3);
+    }
+
+    #[test]
+    fn ids_order_by_raw_value() {
+        assert!(ObjectId::new(1) < ObjectId::new(2));
+        assert_eq!(AttrId::new(4), AttrId::new(4));
+    }
+
+    #[test]
+    fn attr_ref_display_is_dotted() {
+        let a = AttrRef::new(SchemaId::new(1), ObjectId::new(2), AttrId::new(0));
+        assert_eq!(a.to_string(), "s1.o2.a0");
+    }
+}

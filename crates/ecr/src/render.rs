@@ -1,0 +1,241 @@
+//! Plain-text rendering of ECR schemas.
+//!
+//! The paper presents schemas as boxes-and-diamonds diagrams (Figures 2–5).
+//! This renderer produces the equivalent textual diagram: entity sets as
+//! roots, categories indented beneath their parents (the IS-A lattice), and
+//! relationship sets with their legs and structural constraints. The
+//! `figures` binary in `sit-bench` uses it to regenerate the paper's
+//! figures.
+
+use std::fmt::Write as _;
+
+use crate::graph::IsaGraph;
+use crate::ids::ObjectId;
+use crate::schema::Schema;
+
+/// Render the schema as an indented text diagram.
+pub fn render(schema: &Schema) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "schema {}", schema.name());
+    let graph = IsaGraph::of(schema);
+
+    let _ = writeln!(out, "  object classes:");
+    let mut roots = graph.roots();
+    roots.sort_by_key(|o| o.index());
+    for root in roots {
+        render_object(schema, &graph, root, 2, &mut out);
+    }
+
+    if schema.relationship_count() > 0 {
+        let _ = writeln!(out, "  relationship sets:");
+        for (_, rel) in schema.relationships() {
+            let legs: Vec<String> = rel
+                .participants
+                .iter()
+                .map(|p| {
+                    let role = p
+                        .role
+                        .as_deref()
+                        .map(|r| format!(" as {r}"))
+                        .unwrap_or_default();
+                    format!("{} {}{}", schema.object(p.object).name, p.cardinality, role)
+                })
+                .collect();
+            let _ = writeln!(out, "    <{}> -- {}", rel.name, legs.join(" -- "));
+            for a in &rel.attributes {
+                let key = if a.is_key() { " [key]" } else { "" };
+                let _ = writeln!(out, "        . {}: {}{}", a.name, a.domain.tag(), key);
+            }
+        }
+    }
+    out
+}
+
+fn render_object(
+    schema: &Schema,
+    graph: &IsaGraph,
+    o: ObjectId,
+    depth: usize,
+    out: &mut String,
+) {
+    let obj = schema.object(o);
+    let pad = "  ".repeat(depth);
+    let tag = if obj.kind.is_category() {
+        "category"
+    } else {
+        "entity"
+    };
+    let _ = writeln!(out, "{pad}[{}] ({tag})", obj.name);
+    for a in &obj.attributes {
+        let key = if a.is_key() { " [key]" } else { "" };
+        let _ = writeln!(out, "{pad}    . {}: {}{}", a.name, a.domain.tag(), key);
+    }
+    let mut kids: Vec<ObjectId> = graph.children(o).to_vec();
+    kids.sort_by_key(|c| c.index());
+    for child in kids {
+        // A multi-parent category renders under each parent; mark repeats.
+        render_object(schema, graph, child, depth + 1, out);
+    }
+}
+
+/// Render the schema as a Graphviz DOT graph — the "graphical interface
+/// for displaying and browsing schemas [Larson 86]" the paper's
+/// future-work section asks for, in the form every modern toolchain can
+/// draw. Entity sets are boxes, categories are rounded boxes linked to
+/// their parents with `isa` edges, relationship sets are diamonds with
+/// cardinality-labelled edges (the classic ER diagram conventions the
+/// paper's figures use).
+pub fn to_dot(schema: &Schema) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", schema.name());
+    let _ = writeln!(out, "  rankdir=BT;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
+    for (id, obj) in schema.objects() {
+        let (shape, style) = if obj.kind.is_category() {
+            ("box", ", style=rounded")
+        } else {
+            ("box", "")
+        };
+        let attrs: Vec<String> = obj
+            .attributes
+            .iter()
+            .map(|a| {
+                if a.is_key() {
+                    format!("<u>{}</u>", a.name)
+                } else {
+                    a.name.clone()
+                }
+            })
+            .collect();
+        let label = if attrs.is_empty() {
+            format!("<<b>{}</b>>", obj.name)
+        } else {
+            format!("<<b>{}</b><br/>{}>", obj.name, attrs.join("<br/>"))
+        };
+        let _ = writeln!(out, "  o{} [shape={shape}{style}, label={label}];", id.index());
+    }
+    for (id, obj) in schema.objects() {
+        for &p in obj.parents() {
+            let _ = writeln!(
+                out,
+                "  o{} -> o{} [label=\"isa\", arrowhead=onormal];",
+                id.index(),
+                p.index()
+            );
+        }
+    }
+    for (rid, rel) in schema.relationships() {
+        let _ = writeln!(
+            out,
+            "  r{} [shape=diamond, label=\"{}\"];",
+            rid.index(),
+            rel.name
+        );
+        for p in &rel.participants {
+            let role = p
+                .role
+                .as_deref()
+                .map(|r| format!("{r} "))
+                .unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "  r{} -> o{} [label=\"{role}{}\", dir=none];",
+                rid.index(),
+                p.object.index(),
+                p.cardinality
+            );
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// One-line summary used by list screens: `Name (e, 3 attrs)`.
+pub fn summary_line(schema: &Schema, o: ObjectId) -> String {
+    let obj = schema.object(o);
+    format!(
+        "{} ({}, {} attrs)",
+        obj.name,
+        obj.kind.tag(),
+        obj.attr_count()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::relationship::Cardinality;
+    use crate::schema::SchemaBuilder;
+
+    #[test]
+    fn render_shows_hierarchy_and_relationships() {
+        let mut b = SchemaBuilder::new("uni");
+        let student = b
+            .entity_set("Student")
+            .attr_key("Name", Domain::Char)
+            .finish();
+        let dept = b.entity_set("Department").finish();
+        b.category("Grad_student", vec![student])
+            .attr("Support_type", Domain::Char)
+            .finish();
+        b.relationship("Majors")
+            .participant(student, Cardinality::AT_MOST_ONE)
+            .participant(dept, Cardinality::MANY)
+            .finish();
+        let s = b.build().unwrap();
+        let text = render(&s);
+        assert!(text.contains("schema uni"), "{text}");
+        assert!(text.contains("[Student] (entity)"), "{text}");
+        assert!(text.contains("[Grad_student] (category)"), "{text}");
+        assert!(text.contains(". Name: char [key]"), "{text}");
+        assert!(
+            text.contains("<Majors> -- Student (0,1) -- Department (0,n)"),
+            "{text}"
+        );
+        // Category is indented deeper than its parent entity.
+        let student_line = text.lines().position(|l| l.contains("[Student]")).unwrap();
+        let grad_line = text
+            .lines()
+            .position(|l| l.contains("[Grad_student]"))
+            .unwrap();
+        assert!(grad_line > student_line);
+        let indent = |i: usize| {
+            text.lines()
+                .nth(i)
+                .unwrap()
+                .chars()
+                .take_while(|c| *c == ' ')
+                .count()
+        };
+        assert!(indent(grad_line) > indent(student_line));
+    }
+
+    #[test]
+    fn dot_export_contains_nodes_edges_and_cardinalities() {
+        let s = crate::fixtures::sc2();
+        let dot = to_dot(&s);
+        assert!(dot.starts_with("digraph \"sc2\""), "{dot}");
+        assert!(dot.contains("<b>Grad_student</b>"), "{dot}");
+        assert!(dot.contains("<u>Name</u>"), "key underlined: {dot}");
+        assert!(dot.contains("shape=diamond, label=\"Works\""), "{dot}");
+        assert!(dot.contains("(1,1)"), "cardinality labels: {dot}");
+        // Categories link to parents with isa edges.
+        let s4 = crate::fixtures::sc4();
+        let dot4 = to_dot(&s4);
+        assert!(dot4.contains("label=\"isa\""), "{dot4}");
+        assert!(dot4.contains("style=rounded"), "{dot4}");
+    }
+
+    #[test]
+    fn summary_line_format() {
+        let mut b = SchemaBuilder::new("x");
+        let e = b
+            .entity_set("Student")
+            .attr("Name", Domain::Char)
+            .attr("GPA", Domain::Real)
+            .finish();
+        let s = b.build().unwrap();
+        assert_eq!(summary_line(&s, e), "Student (e, 2 attrs)");
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests of the ECR substrate: the cardinality algebra and
+//! the IS-A graph invariants.
+
+use proptest::prelude::*;
+use sit_ecr::{Cardinality, Domain, IsaGraph, SchemaBuilder};
+
+fn arb_card() -> impl Strategy<Value = Cardinality> {
+    (0u32..5, prop::option::of(1u32..8)).prop_map(|(min, max)| {
+        let max = max.map(|m| m.max(min).max(1));
+        Cardinality::new(min, max)
+    })
+}
+
+proptest! {
+    /// `widen` is commutative, associative, idempotent, and its result
+    /// subsumes both inputs.
+    #[test]
+    fn widen_is_a_join(a in arb_card(), b in arb_card(), c in arb_card()) {
+        prop_assert!(a.is_valid() && b.is_valid());
+        prop_assert_eq!(a.widen(&b), b.widen(&a));
+        prop_assert_eq!(a.widen(&a), a);
+        prop_assert_eq!(a.widen(&b).widen(&c), a.widen(&b.widen(&c)));
+        let w = a.widen(&b);
+        prop_assert!(w.is_valid());
+        prop_assert!(w.subsumes(&a), "{w} subsumes {a}");
+        prop_assert!(w.subsumes(&b), "{w} subsumes {b}");
+    }
+
+    /// `subsumes` is a partial order consistent with `widen`.
+    #[test]
+    fn subsumption_partial_order(a in arb_card(), b in arb_card()) {
+        prop_assert!(a.subsumes(&a), "reflexive");
+        if a.subsumes(&b) && b.subsumes(&a) {
+            prop_assert_eq!(a, b, "antisymmetric");
+        }
+        if a.subsumes(&b) {
+            prop_assert_eq!(a.widen(&b), a, "join with a subsumed value is identity");
+        }
+    }
+
+    /// Cardinality display round-trips through the DDL.
+    #[test]
+    fn cardinality_roundtrips_through_ddl(card in arb_card()) {
+        let mut b = SchemaBuilder::new("c");
+        let x = b.entity_set("X").attr_key("id", Domain::Int).finish();
+        let y = b.entity_set("Y").finish();
+        b.relationship("R")
+            .participant(x, card)
+            .participant(y, Cardinality::MANY)
+            .finish();
+        let s = b.build().unwrap();
+        let text = sit_ecr::ddl::print(&s);
+        let back = sit_ecr::ddl::parse(&text).unwrap();
+        let r = back.relationship(back.rel_by_name("R").unwrap());
+        prop_assert_eq!(r.participants[0].cardinality, card);
+    }
+
+    /// Chains of categories always topo-sort, and descendants/ancestors
+    /// are inverse views.
+    #[test]
+    fn isa_graph_invariants(depth in 1usize..8, fanout in 1usize..3) {
+        let mut b = SchemaBuilder::new("g");
+        b.entity_set("Root").finish();
+        let mut prev = vec!["Root".to_owned()];
+        let mut all = vec!["Root".to_owned()];
+        for d in 0..depth {
+            let mut next = Vec::new();
+            for (i, parent) in prev.iter().enumerate() {
+                for f in 0..fanout {
+                    let name = format!("C{d}_{i}_{f}");
+                    b.category_of(name.clone(), &[parent]).unwrap().finish();
+                    next.push(name.clone());
+                    all.push(name);
+                }
+            }
+            prev = next;
+        }
+        let s = b.build().unwrap();
+        let g = IsaGraph::of(&s);
+        prop_assert!(g.find_cycle().is_none());
+        let order = g.topo_order().unwrap();
+        prop_assert_eq!(order.len(), all.len());
+        // Ancestor/descendant symmetry on a few pairs.
+        for name in &all {
+            let id = s.object_by_name(name).unwrap();
+            for anc in g.ancestors(id) {
+                prop_assert!(g.descendants(anc).contains(&id));
+            }
+        }
+        // Roots are exactly the entity sets.
+        prop_assert_eq!(g.roots().len(), 1);
+    }
+}

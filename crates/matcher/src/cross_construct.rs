@@ -1,0 +1,167 @@
+//! Cross-construct correspondence (entity set ↔ relationship set).
+//!
+//! Paper §4: "in one schema, a marriage between two people may be
+//! represented as an entity set, while in another schema a marriage may be
+//! represented as a relationship between the entity sets Male and Female.
+//! One approach to this problem [Larson et al 87] is to \[relate\] two
+//! different types of constructs if they have several common attributes.
+//! For example, the entity set marriage and the relationship set marriage
+//! could be identified as equivalent if they both have attributes
+//! marriage-date, marriage-location, number of children, etc."
+//!
+//! [`cross_construct_candidates`] scans an object class of one schema
+//! against the relationship sets of another (and vice versa) and reports
+//! pairs whose attribute lists overlap strongly under the weighted
+//! resemblance — flagging them for the DDA, since the base integration
+//! algebra only relates like constructs.
+
+use sit_ecr::Schema;
+
+use crate::weighted::WeightedResemblance;
+
+/// A flagged entity↔relationship correspondence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CrossConstructCandidate {
+    /// Name of the object class (entity set or category).
+    pub object: String,
+    /// Schema the object class belongs to.
+    pub object_schema: String,
+    /// Name of the relationship set.
+    pub rel: String,
+    /// Schema the relationship set belongs to.
+    pub rel_schema: String,
+    /// Number of attribute pairs scoring above the attribute threshold.
+    pub common_attrs: usize,
+    /// Mean score of those matched pairs.
+    pub score: f64,
+}
+
+/// Find object-class/relationship-set pairs across two schemas with at
+/// least `min_common` strongly matching attributes (attribute pairs with
+/// weighted score ≥ `attr_threshold`).
+pub fn cross_construct_candidates(
+    w: &WeightedResemblance,
+    a: &Schema,
+    b: &Schema,
+    min_common: usize,
+    attr_threshold: f64,
+) -> Vec<CrossConstructCandidate> {
+    let mut out = Vec::new();
+    scan(w, a, b, min_common, attr_threshold, &mut out);
+    scan(w, b, a, min_common, attr_threshold, &mut out);
+    out.sort_by(|l, r| {
+        r.score
+            .partial_cmp(&l.score)
+            .expect("finite")
+            .then(l.object.cmp(&r.object))
+    });
+    out
+}
+
+fn scan(
+    w: &WeightedResemblance,
+    obj_side: &Schema,
+    rel_side: &Schema,
+    min_common: usize,
+    attr_threshold: f64,
+    out: &mut Vec<CrossConstructCandidate>,
+) {
+    for (_, obj) in obj_side.objects() {
+        for (_, rel) in rel_side.relationships() {
+            if obj.attributes.is_empty() || rel.attributes.is_empty() {
+                continue;
+            }
+            // Greedy one-to-one matching of attribute pairs above the
+            // threshold, best scores first.
+            let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
+            for (i, oa) in obj.attributes.iter().enumerate() {
+                for (j, ra) in rel.attributes.iter().enumerate() {
+                    let s = w.attr_score(oa, ra);
+                    if s >= attr_threshold {
+                        pairs.push((i, j, s));
+                    }
+                }
+            }
+            pairs.sort_by(|l, r| r.2.partial_cmp(&l.2).expect("finite"));
+            let mut used_o = vec![false; obj.attributes.len()];
+            let mut used_r = vec![false; rel.attributes.len()];
+            let mut matched = Vec::new();
+            for (i, j, s) in pairs {
+                if !used_o[i] && !used_r[j] {
+                    used_o[i] = true;
+                    used_r[j] = true;
+                    matched.push(s);
+                }
+            }
+            if matched.len() >= min_common {
+                out.push(CrossConstructCandidate {
+                    object: obj.name.clone(),
+                    object_schema: obj_side.name().to_owned(),
+                    rel: rel.name.clone(),
+                    rel_schema: rel_side.name().to_owned(),
+                    common_attrs: matched.len(),
+                    score: matched.iter().sum::<f64>() / matched.len() as f64,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sit_ecr::ddl::parse;
+
+    #[test]
+    fn marriage_example_from_the_paper() {
+        let a = parse(
+            "schema a { entity Marriage { marriage_date: date; marriage_location: char; num_children: int; } \
+             entity Person { ssn: int key; } }",
+        )
+        .unwrap();
+        let b = parse(
+            "schema b { entity Male { ssn: int key; } entity Female { ssn: int key; } \
+             relationship Married { Male (0,1); Female (0,1); marriage_date: date; \
+             marriage_location: char; number_of_children: int; } }",
+        )
+        .unwrap();
+        let w = WeightedResemblance::default();
+        let candidates = cross_construct_candidates(&w, &a, &b, 2, 0.5);
+        assert!(!candidates.is_empty());
+        let top = &candidates[0];
+        assert_eq!(top.object, "Marriage");
+        assert_eq!(top.rel, "Married");
+        assert!(top.common_attrs >= 2, "{top:?}");
+        assert!(top.score > 0.5);
+    }
+
+    #[test]
+    fn unrelated_constructs_not_flagged() {
+        let a = parse("schema a { entity Invoice { total: real; issued: date; } }").unwrap();
+        let b = parse(
+            "schema b { entity X { id: int key; } entity Y { id: int key; } \
+             relationship Follows { X (0,n); Y (0,n); since_version: int; } }",
+        )
+        .unwrap();
+        let w = WeightedResemblance::default();
+        let candidates = cross_construct_candidates(&w, &a, &b, 2, 0.7);
+        assert!(candidates.is_empty(), "{candidates:?}");
+    }
+
+    #[test]
+    fn scan_is_direction_symmetric() {
+        // The object may live in either schema.
+        let rel_side = parse(
+            "schema r { entity P { id: int key; } relationship Owns { P (0,n); P (0,n); \
+             deed_date: date; deed_no: int; } }",
+        )
+        .unwrap();
+        let obj_side =
+            parse("schema o { entity Deed { deed_date: date; deed_no: int; } }").unwrap();
+        let w = WeightedResemblance::default();
+        let c1 = cross_construct_candidates(&w, &obj_side, &rel_side, 2, 0.6);
+        let c2 = cross_construct_candidates(&w, &rel_side, &obj_side, 2, 0.6);
+        assert_eq!(c1.len(), c2.len());
+        assert!(!c1.is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! Synonym/antonym dictionary — "A dictionary of synonyms and antonyms
+//! would also be useful in detecting candidate pairs of equivalent
+//! attributes" (paper §4).
+//!
+//! The dictionary stores synonym groups (any two members score 1.0) and
+//! antonym pairs (score pinned to 0.0 — a hard veto, because names like
+//! `min_salary`/`max_salary` look nearly identical to string metrics while
+//! meaning opposite things). Lookups are token-aware: `dept_name` and
+//! `division_name` match when `dept` and `division` are synonyms.
+
+use std::collections::HashMap;
+
+use crate::string_sim::tokens;
+
+/// A dictionary of synonym groups and antonym pairs.
+#[derive(Clone, Debug, Default)]
+pub struct SynonymDictionary {
+    /// token → synonym-group id.
+    group_of: HashMap<String, usize>,
+    groups: usize,
+    /// Normalized antonym pairs.
+    antonyms: Vec<(String, String)>,
+}
+
+impl SynonymDictionary {
+    /// Empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A dictionary preloaded with vocabulary common in the paper's
+    /// university/company domain.
+    pub fn builtin() -> Self {
+        let mut d = Self::new();
+        d.add_synonyms(&["department", "dept", "division"]);
+        d.add_synonyms(&["employee", "worker", "staff"]);
+        d.add_synonyms(&["salary", "wage", "pay"]);
+        d.add_synonyms(&["name", "title"]);
+        d.add_synonyms(&["ssn", "social", "sin"]);
+        d.add_synonyms(&["student", "pupil"]);
+        d.add_synonyms(&["teacher", "instructor", "faculty", "professor"]);
+        d.add_synonyms(&["course", "class", "subject"]);
+        d.add_synonyms(&["grade", "mark", "score"]);
+        d.add_synonyms(&["id", "number", "no", "num", "code"]);
+        d.add_synonyms(&["location", "address", "place"]);
+        d.add_synonyms(&["phone", "telephone", "tel"]);
+        d.add_synonyms(&["birth", "dob", "born"]);
+        d.add_antonyms("min", "max");
+        d.add_antonyms("start", "end");
+        d.add_antonyms("first", "last");
+        d.add_antonyms("credit", "debit");
+        d
+    }
+
+    /// Register a group of mutually synonymous tokens. Tokens already in a
+    /// group pull the new tokens into that group.
+    pub fn add_synonyms(&mut self, words: &[&str]) {
+        let gid = words
+            .iter()
+            .find_map(|w| self.group_of.get(&w.to_lowercase()).copied())
+            .unwrap_or_else(|| {
+                self.groups += 1;
+                self.groups - 1
+            });
+        for w in words {
+            self.group_of.insert(w.to_lowercase(), gid);
+        }
+    }
+
+    /// Register an antonym pair (order-insensitive).
+    pub fn add_antonyms(&mut self, a: &str, b: &str) {
+        let (a, b) = (a.to_lowercase(), b.to_lowercase());
+        let pair = if a <= b { (a, b) } else { (b, a) };
+        if !self.antonyms.contains(&pair) {
+            self.antonyms.push(pair);
+        }
+    }
+
+    /// Are two tokens synonyms (or equal)?
+    pub fn synonymous(&self, a: &str, b: &str) -> bool {
+        let (a, b) = (a.to_lowercase(), b.to_lowercase());
+        if a == b {
+            return true;
+        }
+        matches!(
+            (self.group_of.get(&a), self.group_of.get(&b)),
+            (Some(x), Some(y)) if x == y
+        )
+    }
+
+    /// Are two tokens antonyms?
+    pub fn antonymous(&self, a: &str, b: &str) -> bool {
+        let (a, b) = (a.to_lowercase(), b.to_lowercase());
+        let pair = if a <= b { (a, b) } else { (b, a) };
+        self.antonyms.contains(&pair)
+    }
+
+    /// Dictionary-aware name score: `0.0` when any token pair is
+    /// antonymous (hard veto), otherwise the Dice coefficient over tokens
+    /// with synonym matches counting as equal.
+    pub fn name_score(&self, a: &str, b: &str) -> f64 {
+        let ta = tokens(a);
+        let tb = tokens(b);
+        if ta.is_empty() || tb.is_empty() {
+            return 0.0;
+        }
+        for x in &ta {
+            for y in &tb {
+                if self.antonymous(x, y) {
+                    return 0.0;
+                }
+            }
+        }
+        let matched = ta
+            .iter()
+            .filter(|x| tb.iter().any(|y| self.synonymous(x, y)))
+            .count();
+        2.0 * matched as f64 / (ta.len() + tb.len()) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synonym_groups_merge() {
+        let mut d = SynonymDictionary::new();
+        d.add_synonyms(&["dept", "department"]);
+        d.add_synonyms(&["department", "division"]);
+        assert!(d.synonymous("dept", "division"), "transitively merged");
+        assert!(d.synonymous("Dept", "DEPT"), "case-insensitive identity");
+        assert!(!d.synonymous("dept", "salary"));
+    }
+
+    #[test]
+    fn antonyms_veto() {
+        let d = SynonymDictionary::builtin();
+        assert!(d.antonymous("min", "max"));
+        assert!(d.antonymous("MAX", "min"), "order/case insensitive");
+        assert_eq!(d.name_score("min_salary", "max_salary"), 0.0);
+    }
+
+    #[test]
+    fn token_aware_scoring() {
+        let d = SynonymDictionary::builtin();
+        assert_eq!(d.name_score("dept_name", "division_name"), 1.0);
+        let partial = d.name_score("dept_name", "division_budget");
+        assert!((partial - 0.5).abs() < 1e-9, "{partial}");
+        assert_eq!(d.name_score("", "x"), 0.0);
+    }
+
+    #[test]
+    fn builtin_covers_paper_domain() {
+        let d = SynonymDictionary::builtin();
+        assert!(d.synonymous("faculty", "instructor"));
+        assert!(d.synonymous("dept", "department"));
+    }
+}

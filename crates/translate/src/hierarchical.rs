@@ -1,0 +1,278 @@
+//! Hierarchical (IMS-style) schemas and their abstraction into ECR.
+//!
+//! A hierarchical schema is a forest of record types: each non-root record
+//! type has exactly one physical parent, and may additionally point at a
+//! *virtual parent* (IMS logical relationships), which is how hierarchies
+//! express many-to-many structures. The Navathe–Awong abstraction maps:
+//!
+//! * every record type → an entity set (fields → attributes, sequence
+//!   field → key);
+//! * every physical parent-child link → a `(1,1)` child / `(0,n)` parent
+//!   relationship set named `<parent>_<child>`;
+//! * a child with both a physical and a virtual parent that carries no
+//!   fields of its own (a pure *pointer segment*) → a many-to-many
+//!   relationship set between the two parents instead of an entity set.
+
+use sit_ecr::{Cardinality, Domain, EcrError, Schema, SchemaBuilder};
+
+/// One field of a record type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Domain in DDL notation.
+    pub domain: String,
+    /// Sequence (key) field?
+    pub seq: bool,
+}
+
+/// A record type in the hierarchy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecordType {
+    /// Record type name.
+    pub name: String,
+    /// Physical parent (`None` for root segments).
+    pub parent: Option<String>,
+    /// Virtual (logical) parent, if any.
+    pub virtual_parent: Option<String>,
+    /// Fields in declaration order.
+    pub fields: Vec<Field>,
+}
+
+impl RecordType {
+    /// Root record type.
+    pub fn root(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            parent: None,
+            virtual_parent: None,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Child record type under a physical parent.
+    pub fn child(name: impl Into<String>, parent: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            parent: Some(parent.into()),
+            virtual_parent: None,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Attach a virtual (logical) parent.
+    pub fn virtually_under(mut self, parent: impl Into<String>) -> Self {
+        self.virtual_parent = Some(parent.into());
+        self
+    }
+
+    /// Add a plain field.
+    pub fn field(mut self, name: impl Into<String>, domain: impl Into<String>) -> Self {
+        self.fields.push(Field {
+            name: name.into(),
+            domain: domain.into(),
+            seq: false,
+        });
+        self
+    }
+
+    /// Add a sequence (key) field.
+    pub fn seq_field(mut self, name: impl Into<String>, domain: impl Into<String>) -> Self {
+        self.fields.push(Field {
+            name: name.into(),
+            domain: domain.into(),
+            seq: true,
+        });
+        self
+    }
+
+    /// A pointer segment carries no fields and has both parents — it
+    /// exists only to realize a many-to-many association.
+    pub fn is_pointer_segment(&self) -> bool {
+        self.fields.is_empty() && self.parent.is_some() && self.virtual_parent.is_some()
+    }
+}
+
+/// A hierarchical schema: a forest of record types.
+#[derive(Clone, Debug, Default)]
+pub struct HierSchema {
+    name: String,
+    records: Vec<RecordType>,
+}
+
+impl HierSchema {
+    /// Empty schema.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Schema name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Add a record type.
+    pub fn record(&mut self, r: RecordType) -> &mut Self {
+        self.records.push(r);
+        self
+    }
+
+    /// The record types.
+    pub fn records(&self) -> &[RecordType] {
+        &self.records
+    }
+
+    /// Translate into an ECR schema.
+    pub fn to_ecr(&self) -> Result<Schema, EcrError> {
+        let mut b = SchemaBuilder::new(self.name.clone());
+
+        // 1. Entity sets for every non-pointer record type.
+        for r in &self.records {
+            if r.is_pointer_segment() {
+                continue;
+            }
+            let mut ob = b.entity_set(r.name.clone());
+            for f in &r.fields {
+                let domain: Domain = f.domain.parse()?;
+                ob = if f.seq {
+                    ob.attr_key(f.name.clone(), domain)
+                } else {
+                    ob.attr(f.name.clone(), domain)
+                };
+            }
+            ob.finish();
+        }
+
+        // 2. Parent-child links.
+        for r in &self.records {
+            if r.is_pointer_segment() {
+                // Pointer segment → many-to-many between the two parents.
+                let p = r.parent.as_deref().expect("pointer segments have parents");
+                let v = r
+                    .virtual_parent
+                    .as_deref()
+                    .expect("pointer segments have virtual parents");
+                let po = b
+                    .object_by_name(p)
+                    .ok_or_else(|| EcrError::UnknownName(p.to_owned()))?;
+                let vo = b
+                    .object_by_name(v)
+                    .ok_or_else(|| EcrError::UnknownName(v.to_owned()))?;
+                b.relationship(r.name.clone())
+                    .participant(po, Cardinality::MANY)
+                    .participant(vo, Cardinality::MANY)
+                    .finish();
+                continue;
+            }
+            let child = b
+                .object_by_name(&r.name)
+                .ok_or_else(|| EcrError::UnknownName(r.name.clone()))?;
+            for parent in [r.parent.as_deref(), r.virtual_parent.as_deref()]
+                .into_iter()
+                .flatten()
+            {
+                let po = b
+                    .object_by_name(parent)
+                    .ok_or_else(|| EcrError::UnknownName(parent.to_owned()))?;
+                // A child occurrence hangs under exactly one parent
+                // occurrence: (1,1) on the child leg.
+                b.relationship(format!("{parent}_{}", r.name))
+                    .participant(child, Cardinality::ONE)
+                    .participant(po, Cardinality::MANY)
+                    .finish();
+            }
+        }
+
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic IMS course database: COURSE has OFFERING children,
+    /// OFFERING has ENROLL pointer segments virtually under STUDENT.
+    fn courses() -> HierSchema {
+        let mut h = HierSchema::new("courses");
+        h.record(
+            RecordType::root("course")
+                .seq_field("course_no", "int")
+                .field("title", "char"),
+        );
+        h.record(
+            RecordType::child("offering", "course")
+                .seq_field("date", "date")
+                .field("location", "char"),
+        );
+        h.record(
+            RecordType::root("student")
+                .seq_field("student_id", "int")
+                .field("name", "char"),
+        );
+        h.record(RecordType::child("enroll", "offering").virtually_under("student"));
+        h
+    }
+
+    #[test]
+    fn records_map_to_entities_and_links() {
+        let ecr = courses().to_ecr().unwrap();
+        assert!(ecr.object_by_name("course").is_some());
+        assert!(ecr.object_by_name("offering").is_some());
+        assert!(ecr.object_by_name("student").is_some());
+        assert!(
+            ecr.object_by_name("enroll").is_none(),
+            "pointer segment is not an entity"
+        );
+        // Physical link: offering (1,1) under course (0,n).
+        let link = ecr.relationship(ecr.rel_by_name("course_offering").unwrap());
+        assert_eq!(link.participants[0].cardinality, Cardinality::ONE);
+        assert_eq!(link.participants[1].cardinality, Cardinality::MANY);
+        // Pointer segment became many-to-many offering↔student.
+        let enroll = ecr.relationship(ecr.rel_by_name("enroll").unwrap());
+        assert_eq!(enroll.degree(), 2);
+        assert!(enroll
+            .participants
+            .iter()
+            .all(|p| p.cardinality == Cardinality::MANY));
+    }
+
+    #[test]
+    fn sequence_fields_become_keys() {
+        let ecr = courses().to_ecr().unwrap();
+        let course = ecr.object(ecr.object_by_name("course").unwrap());
+        let (_, key) = course.attr_by_name("course_no").unwrap();
+        assert!(key.is_key());
+        let (_, title) = course.attr_by_name("title").unwrap();
+        assert!(!title.is_key());
+    }
+
+    #[test]
+    fn missing_parent_is_an_error() {
+        let mut h = HierSchema::new("bad");
+        h.record(RecordType::child("lost", "ghost").seq_field("id", "int"));
+        let err = h.to_ecr().unwrap_err().to_string();
+        assert!(err.contains("ghost"), "{err}");
+    }
+
+    #[test]
+    fn child_with_fields_and_virtual_parent_stays_an_entity() {
+        // A non-empty child with a virtual parent links to both parents.
+        let mut h = HierSchema::new("h");
+        h.record(RecordType::root("a").seq_field("id", "int"));
+        h.record(RecordType::root("b").seq_field("id", "int"));
+        h.record(
+            RecordType::child("c", "a")
+                .virtually_under("b")
+                .seq_field("id", "int")
+                .field("data", "char"),
+        );
+        let ecr = h.to_ecr().unwrap();
+        assert!(ecr.object_by_name("c").is_some());
+        assert!(ecr.rel_by_name("a_c").is_some());
+        assert!(ecr.rel_by_name("b_c").is_some());
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! # sit-translate — schema translation into the ECR model
+//!
+//! Phase 1 of the paper's methodology requires every component schema to be
+//! expressed in the common data model: "If a component schema is defined in
+//! a data model other than ECR model, it must be translated to the ECR
+//! model. Navathe and Awong [Navathe and Awong 87] have developed a
+//! detailed procedure for ... relational and hierarchical database schemas
+//! ... to map them automatically in ECR model." The paper's future-work
+//! section proposes wiring such a translator in front of the integration
+//! tool; this crate is that substrate.
+//!
+//! Two source models are provided:
+//!
+//! * [`relational`] — tables with primary keys, foreign keys and inclusion
+//!   dependencies. Relations are classified (base entity relation, subset
+//!   relation, relationship relation) from their key structure, following
+//!   the Navathe–Awong interrogation procedure's decision rules.
+//! * [`hierarchical`] — record types connected by parent-child links (an
+//!   IMS-style forest with virtual pairings), mapped to entity sets and
+//!   `(1,1)/(0,n)` relationship sets.
+//!
+//! Both produce ordinary [`sit_ecr::Schema`] values ready for an
+//! integration `sit_core::session::Session` — closing the pipeline the
+//! paper sketches: *schema translation tool → integration tool → physical
+//! design*.
+//!
+//! ```
+//! use sit_translate::relational::{RelSchema, Table};
+//!
+//! let mut r = RelSchema::new("company");
+//! r.table(Table::new("employee")
+//!     .col_pk("ssn", "int")
+//!     .col("name", "char")
+//!     .col_fk("dept_no", "int", "department", "dept_no"));
+//! r.table(Table::new("department")
+//!     .col_pk("dept_no", "int")
+//!     .col("dname", "char"));
+//! let ecr = r.to_ecr().unwrap();
+//! assert!(ecr.object_by_name("employee").is_some());
+//! assert!(ecr.rel_by_name("employee_department").is_some());
+//! ```
+
+pub mod hierarchical;
+pub mod relational;
+
+pub use hierarchical::{HierSchema, RecordType};
+pub use relational::{RelSchema, Table, TableKind};

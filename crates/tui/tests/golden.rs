@@ -1,0 +1,148 @@
+//! Golden-frame tests: exact rendered text of the key screens. Any layout
+//! drift fails these tests with a readable diff.
+
+use sit_tui::app::App;
+use sit_tui::event::Event;
+use sit_tui::screens::{self, AssertionRow};
+
+/// Compare a frame with the expected text, ignoring trailing whitespace
+/// and the blank interior rows (so the goldens stay readable).
+fn assert_frame(frame: &sit_tui::Frame, expected: &str) {
+    let actual: Vec<String> = frame
+        .to_string()
+        .lines()
+        .map(|l| l.trim_end().to_owned())
+        .filter(|l| !l.trim_start().trim_end_matches('|').trim().is_empty() || l.contains('-'))
+        .collect();
+    let expected: Vec<String> = expected
+        .lines()
+        .map(|l| l.trim_end().to_owned())
+        .filter(|l| !l.is_empty())
+        .collect();
+    for (i, e) in expected.iter().enumerate() {
+        assert!(
+            actual.iter().any(|a| a == e),
+            "missing golden line {i}:\n  expected: {e:?}\n  frame:\n{frame}"
+        );
+    }
+}
+
+#[test]
+fn golden_main_menu() {
+    let frame = App::new().render();
+    assert_frame(
+        &frame,
+        "\
+|                          SCHEMA INTEGRATION TOOL                           |
+|                               < Main Menu >                                |
+|       1.  Collect schema definitions                                       |
+|       2.  Specify equivalence among attributes of object classes           |
+|       3.  Specify assertions between object classes                        |
+|       4.  Specify equivalence among attributes of relationship sets        |
+|       5.  Specify assertions between relationship sets                     |
+|       6.  View the results of integration                                  |
+| Choose a task (1-6), or (E)xit =>                                          |",
+    );
+}
+
+#[test]
+fn golden_screen8_rows() {
+    // The exact three rows of the paper's Screen 8.
+    let rows = vec![
+        AssertionRow {
+            left: "sc1.Department".into(),
+            right: "sc2.Department".into(),
+            ratio: 0.5,
+            entered: Some(1),
+        },
+        AssertionRow {
+            left: "sc1.Student".into(),
+            right: "sc2.Grad_student".into(),
+            ratio: 0.5,
+            entered: Some(3),
+        },
+        AssertionRow {
+            left: "sc1.Student".into(),
+            right: "sc2.Faculty".into(),
+            ratio: 1.0 / 3.0,
+            entered: Some(4),
+        },
+    ];
+    let frame = screens::assertion_collection(&rows, 2, false);
+    assert_frame(
+        &frame,
+        "\
+|                          ASSERTION SPECIFICATION                           |
+| sc1.Department          sc2.Department          0.5000      =>1            |
+| sc1.Student             sc2.Grad_student        0.5000      =>3            |
+| sc1.Student             sc2.Faculty             0.3333      =>4            |
+|   1 - OB_CL_name_1 'equals' OB_CL_name_2                                   |
+|   0 - OB_CL_name_1 and OB_CL_name_2 are disjoint & non-integratable        |",
+    );
+}
+
+#[test]
+fn golden_screen12_component() {
+    let v = screens::ComponentView {
+        owner: "Student".into(),
+        owner_kind: "category".into(),
+        attr: "D_Name".into(),
+        comp_name: "Name".into(),
+        domain: "char".into(),
+        key: true,
+        original_object: "Student".into(),
+        original_type: 'E',
+        original_schema: "sc1".into(),
+        index: 1,
+        total: 2,
+    };
+    let frame = screens::component_attribute(&v);
+    assert_frame(
+        &frame,
+        "\
+|                         COMPONENT ATTRIBUTE SCREEN                         |
+|       Attribute Name        : Name                                         |
+|       Domain                : char                                         |
+|       Key                   : YES                                          |
+|       original Object Name  : Student                                      |
+|       original type         : E                                            |
+|       original Schema Name  : sc1                                          |",
+    );
+}
+
+#[test]
+fn golden_interactive_session_is_stable() {
+    // Drive the full paper session twice; frames must be identical
+    // (the tool is deterministic).
+    let run = || {
+        let mut session = sit_core::session::Session::new();
+        session.add_schema(sit_ecr::fixtures::sc1()).unwrap();
+        session.add_schema(sit_ecr::fixtures::sc2()).unwrap();
+        let mut app = App::with_session(session);
+        let script = [
+            Event::Key('2'),
+            Event::text("sc1 sc2"),
+            Event::text("Student Grad_student"),
+            Event::Key('a'),
+            Event::text("1 1"),
+            Event::Key('e'),
+            Event::text("Department Department"),
+            Event::Key('a'),
+            Event::text("1 1"),
+            Event::Key('e'),
+            Event::Key('e'),
+            Event::Key('3'),
+            Event::Key('1'),
+            Event::Key('3'),
+            Event::Key('e'),
+            Event::Key('6'),
+        ];
+        let mut frames = String::new();
+        for e in script {
+            app.handle(e);
+            frames.push_str(&app.render().to_string());
+        }
+        frames
+    };
+    assert_eq!(run(), run());
+}

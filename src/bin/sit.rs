@@ -1,0 +1,264 @@
+//! `sit` — the schema integration tool, command line.
+//!
+//! ```text
+//! sit                               interactive tool (reads stdin)
+//! sit --load S.sit                  preload a session script (repeatable)
+//! sit --script EVENTS [--frames]    drive the tool from an event file
+//! sit --list                        list loaded schemas and exit
+//! sit --render NAME                 print a schema as text and exit
+//! sit --dot NAME                    print a schema as Graphviz DOT and exit
+//! sit --integrate A B [--pull-up]   integrate two schemas and print the result
+//! sit --save OUT                    save the session script before exiting
+//! sit --to-integrated SCHEMA "Q"    translate a view query (with --integrate)
+//! sit --to-components "Q"           translate a global query (with --integrate)
+//! ```
+//!
+//! Event files for `--script`: one event per line — `key <chars>` sends
+//! each character as a menu choice, `text <line>` submits a typed line
+//! (`text` alone submits an empty line), `#` starts a comment.
+//! Interactive mode uses the same rule as the paper's forms: a line with
+//! exactly one character is a menu choice, anything else (including an
+//! empty line) is typed input.
+
+use std::io::{BufRead, Write};
+
+use sit::core::mapping::Query;
+use sit::core::script;
+use sit::core::session::Session;
+use sit::ecr::render;
+use sit::tui::app::App;
+use sit::tui::event::Event;
+
+struct Args {
+    load: Vec<String>,
+    script: Option<String>,
+    frames: bool,
+    list: bool,
+    render: Option<String>,
+    dot: Option<String>,
+    integrate: Option<(String, String)>,
+    pull_up: bool,
+    save: Option<String>,
+    to_integrated: Option<(String, String)>,
+    to_components: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        load: Vec::new(),
+        script: None,
+        frames: false,
+        list: false,
+        render: None,
+        dot: None,
+        integrate: None,
+        pull_up: false,
+        save: None,
+        to_integrated: None,
+        to_components: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut need = |what: &str| it.next().ok_or(format!("{what} needs a value"));
+        match a.as_str() {
+            "--load" => args.load.push(need("--load")?),
+            "--script" => args.script = Some(need("--script")?),
+            "--frames" => args.frames = true,
+            "--list" => args.list = true,
+            "--render" => args.render = Some(need("--render")?),
+            "--dot" => args.dot = Some(need("--dot")?),
+            "--integrate" => {
+                let a = need("--integrate")?;
+                let b = need("--integrate")?;
+                args.integrate = Some((a, b));
+            }
+            "--pull-up" => args.pull_up = true,
+            "--save" => args.save = Some(need("--save")?),
+            "--to-integrated" => {
+                let schema = need("--to-integrated")?;
+                let q = need("--to-integrated")?;
+                args.to_integrated = Some((schema, q));
+            }
+            "--to-components" => args.to_components = Some(need("--to-components")?),
+            "--help" | "-h" => {
+                print!("{}", HELP);
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+const HELP: &str = "\
+sit - interactive schema integration (ICDE 1988 reproduction)
+
+  sit                               interactive tool (reads stdin)
+  sit --load S.sit                  preload a session script (repeatable)
+  sit --script EVENTS [--frames]    drive the tool from an event file
+  sit --list                        list loaded schemas and exit
+  sit --render NAME | --dot NAME    print one schema and exit
+  sit --integrate A B [--pull-up]   integrate two schemas, print the result
+  sit --to-integrated SCHEMA QUERY  translate a view query (with --integrate)
+  sit --to-components QUERY         translate a global query (with --integrate)
+  sit --save OUT                    save the session script
+";
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("sit: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+
+    // Load session scripts / DDL files. Files are concatenated and loaded
+    // as one script so every file's equivalences and assertions survive
+    // (schema blocks parse before directives regardless of file order).
+    let mut combined = String::new();
+    for path in &args.load {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        combined.push_str(&text);
+        combined.push('\n');
+    }
+    let session = if combined.trim().is_empty() {
+        Session::new()
+    } else {
+        script::load(&combined).map_err(|e| e.to_string())?
+    };
+
+    if args.list {
+        for (_, schema) in session.catalog().schemas() {
+            println!(
+                "{} ({} object classes, {} relationship sets)",
+                schema.name(),
+                schema.object_count(),
+                schema.relationship_count()
+            );
+        }
+        return Ok(());
+    }
+    if let Some(name) = &args.render {
+        let sid = session
+            .catalog()
+            .by_name(name)
+            .ok_or(format!("unknown schema `{name}`"))?;
+        print!("{}", render::render(session.catalog().schema(sid)));
+        return Ok(());
+    }
+    if let Some(name) = &args.dot {
+        let sid = session
+            .catalog()
+            .by_name(name)
+            .ok_or(format!("unknown schema `{name}`"))?;
+        print!("{}", render::to_dot(session.catalog().schema(sid)));
+        return Ok(());
+    }
+
+    if let Some((a, b)) = &args.integrate {
+        let sa = session
+            .catalog()
+            .by_name(a)
+            .ok_or(format!("unknown schema `{a}`"))?;
+        let sb = session
+            .catalog()
+            .by_name(b)
+            .ok_or(format!("unknown schema `{b}`"))?;
+        let options = sit::core::integrate::IntegrationOptions {
+            pull_up_common_attrs: args.pull_up,
+            ..Default::default()
+        };
+        let (result, mappings) = session
+            .integrate_with_mappings(sa, sb, &options)
+            .map_err(|e| e.to_string())?;
+        print!("{}", render::render(&result.schema));
+        if let Some((schema, q)) = &args.to_integrated {
+            let q: Query = q.parse()?;
+            println!("\nview query     : [{schema}] {q}");
+            println!(
+                "against global : {}",
+                mappings.to_integrated(schema, &q).map_err(|e| e.to_string())?
+            );
+        }
+        if let Some(q) = &args.to_components {
+            let q: Query = q.parse()?;
+            println!("\nglobal query : {q}");
+            println!(
+                "fan-out      :\n{}",
+                mappings.to_components(&q).map_err(|e| e.to_string())?
+            );
+        }
+        if let Some(out) = &args.save {
+            std::fs::write(out, script::save(&session)).map_err(|e| e.to_string())?;
+            println!("\nsession saved to {out}");
+        }
+        return Ok(());
+    }
+
+    // TUI modes.
+    let mut app = App::with_session(session);
+    if let Some(path) = &args.script {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let events = parse_event_file(&text)?;
+        for event in events {
+            app.handle(event);
+            if args.frames {
+                println!("{}", app.render());
+            }
+        }
+        if !args.frames {
+            println!("{}", app.render());
+        }
+    } else {
+        interactive(&mut app)?;
+    }
+    if let Some(out) = &args.save {
+        std::fs::write(out, script::save(app.session())).map_err(|e| e.to_string())?;
+        eprintln!("session saved to {out}");
+    }
+    Ok(())
+}
+
+/// Parse a `--script` event file.
+fn parse_event_file(text: &str) -> Result<Vec<Event>, String> {
+    let mut out = Vec::new();
+    for (no, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.trim_start().starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        if let Some(keys) = line.strip_prefix("key ") {
+            out.extend(keys.trim().chars().map(Event::Key));
+        } else if line == "text" {
+            out.push(Event::text(""));
+        } else if let Some(t) = line.strip_prefix("text ") {
+            out.push(Event::text(t));
+        } else {
+            return Err(format!("line {}: expected `key ...` or `text ...`", no + 1));
+        }
+    }
+    Ok(out)
+}
+
+/// Interactive loop: render, read a line, convert to an event.
+fn interactive(app: &mut App) -> Result<(), String> {
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    loop {
+        println!("{}", app.render());
+        print!("> ");
+        std::io::stdout().flush().ok();
+        let Some(line) = lines.next() else {
+            return Ok(()); // EOF ends the session
+        };
+        let line = line.map_err(|e| e.to_string())?;
+        let mut chars = line.chars();
+        let event = match (chars.next(), chars.next()) {
+            (Some(c), None) => Event::Key(c),
+            _ => Event::text(line),
+        };
+        app.handle(event);
+    }
+}

@@ -1,0 +1,148 @@
+//! Smoke tests of the `sit` command-line binary, covering every mode:
+//! session loading, listing, rendering, DOT export, batch integration
+//! with query translation, TUI scripting, and session saving.
+
+use std::process::{Command, Stdio};
+
+fn sit() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sit"))
+}
+
+fn demo_session() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/examples/data/university.sit")
+}
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = sit()
+        .args(args)
+        .stdin(Stdio::null())
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn list_mode() {
+    let (stdout, _, ok) = run(&["--load", demo_session(), "--list"]);
+    assert!(ok);
+    assert!(stdout.contains("sc1 (2 object classes, 1 relationship sets)"), "{stdout}");
+    assert!(stdout.contains("sc2 (3 object classes, 2 relationship sets)"), "{stdout}");
+}
+
+#[test]
+fn render_and_dot_modes() {
+    let (stdout, _, ok) = run(&["--load", demo_session(), "--render", "sc1"]);
+    assert!(ok);
+    assert!(stdout.contains("[Student] (entity)"), "{stdout}");
+    let (dot, _, ok) = run(&["--load", demo_session(), "--dot", "sc2"]);
+    assert!(ok);
+    assert!(dot.starts_with("digraph \"sc2\""), "{dot}");
+    assert!(dot.contains("shape=diamond"), "{dot}");
+}
+
+#[test]
+fn integrate_mode_with_query_translation() {
+    let (stdout, _, ok) = run(&[
+        "--load",
+        demo_session(),
+        "--integrate",
+        "sc1",
+        "sc2",
+        "--to-components",
+        "select D_Name from D_Stud_Facu",
+        "--to-integrated",
+        "sc2",
+        "select Name from Grad_student",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("[E_Department]"), "{stdout}");
+    assert!(stdout.contains("[D_Stud_Facu]"), "{stdout}");
+    assert!(stdout.contains("select Name from Student"), "fan-out branch: {stdout}");
+    assert!(stdout.contains("select D_Name from Grad_student"), "view mapping: {stdout}");
+}
+
+#[test]
+fn tui_script_mode() {
+    let events = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/data/tui_session.events"
+    );
+    let (stdout, _, ok) = run(&["--load", demo_session(), "--script", events]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("Category Screen"), "{stdout}");
+    assert!(stdout.contains("D_Stud_Facu (E)"), "{stdout}");
+}
+
+#[test]
+fn save_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("sit_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out_path = dir.join("saved.sit");
+    let out_str = out_path.to_str().unwrap();
+    let (_, _, ok) = run(&[
+        "--load",
+        demo_session(),
+        "--integrate",
+        "sc1",
+        "sc2",
+        "--save",
+        out_str,
+    ]);
+    assert!(ok);
+    // The saved script loads again and lists both schemas.
+    let (stdout, _, ok) = run(&["--load", out_str, "--list"]);
+    assert!(ok);
+    assert!(stdout.contains("sc1"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn multiple_loads_preserve_every_files_directives() {
+    let dir = std::env::temp_dir().join(format!("sit_multi_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p1 = dir.join("p1.sit");
+    let p2 = dir.join("p2.sit");
+    std::fs::write(&p1, "schema p1 { entity A { id: int key; } }\n").unwrap();
+    std::fs::write(
+        &p2,
+        "schema p2 { entity B { id: int key; } }\nequiv p1.A.id = p2.B.id;\nassert p1.A equals p2.B;\n",
+    )
+    .unwrap();
+    let (stdout, _, ok) = run(&[
+        "--load",
+        p1.to_str().unwrap(),
+        "--load",
+        p2.to_str().unwrap(),
+        "--integrate",
+        "p1",
+        "p2",
+    ]);
+    assert!(ok, "{stdout}");
+    // The second file's assertion survives: the classes merged.
+    assert!(stdout.contains("[E_A_B]"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn errors_are_reported() {
+    let (_, stderr, ok) = run(&["--load", "/nonexistent/file.sit"]);
+    assert!(!ok);
+    assert!(stderr.contains("sit:"), "{stderr}");
+    let (_, stderr, ok) = run(&["--bogus-flag"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown argument"), "{stderr}");
+    let (_, stderr, ok) = run(&["--load", demo_session(), "--render", "ghost"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown schema"), "{stderr}");
+}
+
+#[test]
+fn help_prints_usage() {
+    let (stdout, _, ok) = run(&["--help"]);
+    assert!(ok);
+    assert!(stdout.contains("--integrate"), "{stdout}");
+}

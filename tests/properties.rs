@@ -1,0 +1,298 @@
+//! Property-based tests on the core invariants, spanning crates.
+//!
+//! * the RCC5 assertion algebra is sound and tight against concrete sets;
+//! * the closure engine never rejects a *satisfiable* assertion set and
+//!   never derives a relation the witness violates;
+//! * the ECR DDL round-trips arbitrary generated schemas;
+//! * integration maps every component object and produces a valid schema.
+
+use proptest::prelude::*;
+
+use sit::core::assertion::{Assertion, Rel5, Rel5Set};
+use sit::core::closure::AssertionEngine;
+use sit::core::session::Session;
+use sit::ecr::{ddl, Cardinality, Domain, SchemaBuilder};
+
+// ---------------------------------------------------------------------
+// RCC5 algebra vs concrete sets
+// ---------------------------------------------------------------------
+
+/// Relation between two non-empty bitmask sets.
+fn relate(a: u32, b: u32) -> Rel5 {
+    if a == b {
+        Rel5::Eq
+    } else if a & b == 0 {
+        Rel5::Dr
+    } else if a & b == a {
+        Rel5::Pp
+    } else if a & b == b {
+        Rel5::Ppi
+    } else {
+        Rel5::Po
+    }
+}
+
+fn nonempty_set() -> impl Strategy<Value = u32> {
+    (1u32..(1 << 10)).prop_filter("non-empty", |&s| s != 0)
+}
+
+proptest! {
+    /// Soundness of composition: the actual relation between a and c is
+    /// always among the composed possibilities.
+    #[test]
+    fn composition_is_sound(a in nonempty_set(), b in nonempty_set(), c in nonempty_set()) {
+        let r = Rel5Set::only(relate(a, b));
+        let s = Rel5Set::only(relate(b, c));
+        let t = relate(a, c);
+        prop_assert!(r.compose(s).contains(t));
+    }
+
+    /// Converse round-trips and distributes over composition.
+    #[test]
+    fn converse_identities(bits1 in 0u8..32, bits2 in 0u8..32) {
+        let x = Rel5Set::from_bits(bits1);
+        let y = Rel5Set::from_bits(bits2);
+        prop_assert_eq!(x.converse().converse(), x);
+        prop_assert_eq!(x.compose(y).converse(), y.converse().compose(x.converse()));
+    }
+
+    /// The closure engine accepts any assertion set that has a concrete
+    /// witness, and every singleton it derives matches the witness.
+    #[test]
+    fn closure_sound_on_witnessed_worlds(
+        sets in prop::collection::vec(nonempty_set(), 3..8),
+        pairs in prop::collection::vec((0usize..8, 0usize..8), 1..12),
+    ) {
+        let n = sets.len();
+        let mut engine: AssertionEngine<u32> = AssertionEngine::new();
+        for (i, j) in pairs {
+            let (i, j) = (i % n, j % n);
+            if i == j {
+                continue;
+            }
+            let rel = relate(sets[i], sets[j]);
+            let assertion = match rel {
+                Rel5::Eq => Assertion::Equal,
+                Rel5::Pp => Assertion::ContainedIn,
+                Rel5::Ppi => Assertion::Contains,
+                Rel5::Po => Assertion::MayBe,
+                Rel5::Dr => Assertion::DisjointNonIntegrable,
+            };
+            let outcome = engine.assert(i as u32, j as u32, assertion, |x| format!("n{x}"));
+            prop_assert!(outcome.is_ok(), "witnessed assertion rejected: {:?}", outcome);
+        }
+        // Every pinned relation agrees with the witness.
+        for d in engine.pinned() {
+            let actual = relate(sets[d.a as usize], sets[d.b as usize]);
+            prop_assert_eq!(d.rel, actual, "derived {} for ({},{})", d.rel, d.a, d.b);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// DDL round-trip on generated schemas
+// ---------------------------------------------------------------------
+
+fn arb_domain() -> impl Strategy<Value = Domain> {
+    prop_oneof![
+        Just(Domain::Char),
+        Just(Domain::Int),
+        Just(Domain::Real),
+        Just(Domain::Bool),
+        Just(Domain::Date),
+        prop::collection::vec("[a-z]{1,6}", 1..4).prop_map(Domain::Enum),
+        "[a-z][a-z0-9_]{0,8}"
+            .prop_filter("not a reserved domain word", |s| {
+                !matches!(
+                    s.as_str(),
+                    "char" | "string" | "int" | "integer" | "real" | "float" | "bool"
+                        | "boolean" | "date" | "enum"
+                )
+            })
+            .prop_map(Domain::Named),
+    ]
+}
+
+type AttrSpec = (String, Domain, bool);
+
+#[derive(Clone, Debug)]
+struct ArbSchema {
+    entities: Vec<Vec<AttrSpec>>,
+    categories: Vec<(usize, Vec<AttrSpec>)>,
+    rels: Vec<(usize, usize, u32, Option<u32>)>,
+}
+
+fn arb_attrs() -> impl Strategy<Value = Vec<AttrSpec>> {
+    prop::collection::vec(("[a-z][a-z0-9_]{0,8}", arb_domain(), any::<bool>()), 0..5)
+}
+
+fn arb_schema() -> impl Strategy<Value = ArbSchema> {
+    (
+        prop::collection::vec(arb_attrs(), 1..5),
+        prop::collection::vec((0usize..4, arb_attrs()), 0..3),
+        prop::collection::vec((0usize..4, 0usize..4, 0u32..3, prop::option::of(1u32..5)), 0..4),
+    )
+        .prop_map(|(entities, categories, rels)| ArbSchema {
+            entities,
+            categories,
+            rels,
+        })
+}
+
+fn build(spec: &ArbSchema) -> Option<sit::ecr::Schema> {
+    let mut b = SchemaBuilder::new("prop");
+    let n = spec.entities.len();
+    for (i, attrs) in spec.entities.iter().enumerate() {
+        let mut ob = b.entity_set(format!("E{i}"));
+        let mut seen = Vec::new();
+        for (name, domain, key) in attrs {
+            if seen.contains(name) {
+                continue;
+            }
+            seen.push(name.clone());
+            ob = if *key {
+                ob.attr_key(name.clone(), domain.clone())
+            } else {
+                ob.attr(name.clone(), domain.clone())
+            };
+        }
+        ob.finish();
+    }
+    for (ci, (parent, attrs)) in spec.categories.iter().enumerate() {
+        let parent = format!("E{}", parent % n);
+        let mut ob = b.category_of(format!("C{ci}"), &[&parent]).ok()?;
+        let mut seen = Vec::new();
+        for (name, domain, key) in attrs {
+            if seen.contains(name) {
+                continue;
+            }
+            seen.push(name.clone());
+            ob = if *key {
+                ob.attr_key(name.clone(), domain.clone())
+            } else {
+                ob.attr(name.clone(), domain.clone())
+            };
+        }
+        ob.finish();
+    }
+    for (ri, (x, y, min, max)) in spec.rels.iter().enumerate() {
+        let ox = b.object_by_name(&format!("E{}", x % n)).expect("exists");
+        let oy = b.object_by_name(&format!("E{}", y % n)).expect("exists");
+        let max = max.map(|m| m.max(*min).max(1));
+        b.relationship(format!("R{ri}"))
+            .participant(ox, Cardinality::new(*min, max))
+            .participant(oy, Cardinality::MANY)
+            .finish();
+    }
+    b.build().ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `parse(print(s)) == s` for arbitrary valid schemas. Shadowed
+    /// category attributes with incompatible domains are rejected at build
+    /// time, which `build` surfaces as `None` (skipped case).
+    #[test]
+    fn ddl_roundtrip(spec in arb_schema()) {
+        if let Some(schema) = build(&spec) {
+            let text = ddl::print(&schema);
+            let back = ddl::parse(&text);
+            prop_assert!(back.is_ok(), "re-parse failed: {back:?}\n{text}");
+            prop_assert_eq!(back.unwrap(), schema);
+        }
+    }
+
+    /// Generated workloads always integrate into valid schemas with a
+    /// complete object map.
+    #[test]
+    fn integration_invariants(seed in 0u64..500, objects in 3usize..10, overlap in 0.0f64..1.0) {
+        let pair = sit::datagen::GeneratorConfig {
+            seed,
+            objects_per_schema: objects,
+            overlap,
+            ..Default::default()
+        }
+        .generate_pair();
+        let mut oracle = sit::datagen::GroundTruthOracle::new(&pair.truth);
+        let driven = sit_bench_drive(&pair, &mut oracle);
+        let (sa, sb) = driven.1;
+        let session = driven.0;
+        let result = session.integrate(sa, sb, &Default::default());
+        prop_assert!(result.is_ok(), "{result:?}");
+        let result = result.unwrap();
+        // Every component object maps to some integrated object.
+        for g in session.catalog().objects_of(sa).chain(session.catalog().objects_of(sb)) {
+            prop_assert!(result.node_of(g).is_some(), "unmapped {g:?}");
+        }
+        // Provenance rows align with the schema's attributes.
+        for (oid, obj) in result.schema.objects() {
+            prop_assert_eq!(
+                result.object_attr_prov[oid.index()].len(),
+                obj.attributes.len()
+            );
+        }
+        // The integrated schema passes ECR validation.
+        prop_assert!(sit::ecr::validate(&result.schema).is_empty());
+    }
+}
+
+/// Minimal phase 2+3 drive used by the property test (mirrors
+/// `sit_bench::drive_session` without depending on the bench crate).
+fn sit_bench_drive(
+    pair: &sit::datagen::GeneratedPair,
+    oracle: &mut sit::datagen::GroundTruthOracle<'_>,
+) -> (Session, (sit::ecr::SchemaId, sit::ecr::SchemaId)) {
+    use sit::datagen::DdaOracle;
+    let mut session = Session::new();
+    let sa = session.add_schema(pair.a.clone()).unwrap();
+    let sb = session.add_schema(pair.b.clone()).unwrap();
+    // Phase 2.
+    let attrs_a = session.catalog().attrs_of(sa);
+    let attrs_b = session.catalog().attrs_of(sb);
+    for &ga in &attrs_a {
+        for &gb in &attrs_b {
+            let (Ok(da), Ok(db)) = (session.catalog().attr(ga), session.catalog().attr(gb)) else {
+                continue;
+            };
+            if !da.domain.compatible(&db.domain) {
+                continue;
+            }
+            let oa = owner(&session, ga);
+            let ob = owner(&session, gb);
+            let na = da.name.clone();
+            let nb = db.name.clone();
+            if oracle.attrs_equivalent(&oa, &na, &ob, &nb) {
+                let _ = session.declare_equivalent(ga, gb);
+            }
+        }
+    }
+    // Phase 3 over the ranked candidates.
+    for pair_cand in session.candidates(sa, sb) {
+        let na = session
+            .catalog()
+            .schema(sa)
+            .object(pair_cand.left.object)
+            .name
+            .clone();
+        let nb = session
+            .catalog()
+            .schema(sb)
+            .object(pair_cand.right.object)
+            .name
+            .clone();
+        if let Some(assertion) = oracle.object_assertion(&na, &nb) {
+            let _ = session.assert_objects(pair_cand.left, pair_cand.right, assertion);
+        }
+    }
+    (session, (sa, sb))
+}
+
+fn owner(session: &Session, g: sit::core::catalog::GAttr) -> String {
+    session
+        .catalog()
+        .schema(g.schema)
+        .owner_name(g.owner)
+        .unwrap_or("?")
+        .to_owned()
+}
