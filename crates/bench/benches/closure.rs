@@ -1,7 +1,7 @@
 //! B3 — cost of assertion propagation and conflict detection
 //! (the closure engine behind Screens 8/9).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sit_bench::harness::Bench;
 use sit_core::assertion::{Assertion, Rel5, Rel5Set};
 use sit_core::closure::{naive_path_consistency, AssertionEngine};
 
@@ -14,45 +14,33 @@ fn chain(n: u32) -> AssertionEngine<u32> {
     e
 }
 
-fn bench_closure(c: &mut Criterion) {
-    let mut group = c.benchmark_group("closure");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(2));
+fn main() {
+    let mut bench = Bench::new("closure").with_counts(2, 20);
     for n in [25u32, 50, 100] {
-        group.bench_with_input(BenchmarkId::new("containment_chain", n), &n, |b, &n| {
-            b.iter(|| chain(n));
+        bench.run(format!("containment_chain/{n}"), || chain(n));
+        let e = chain(n);
+        bench.run_with_setup(
+            format!("conflict_check/{n}"),
+            || e.clone(),
+            |mut e| {
+                let _ = e.assert(n, 0, Assertion::ContainedIn, |x| format!("n{x}"));
+            },
+        );
+        // Ablation: full fixpoint recomputation over all triples vs the
+        // incremental worklist.
+        let facts: Vec<(u32, u32, Rel5Set)> = (0..n)
+            .map(|i| (i, i + 1, Rel5Set::only(Rel5::Pp)))
+            .collect();
+        bench.run(format!("naive_recompute/{n}"), || {
+            naive_path_consistency(&facts).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("conflict_check", n), &n, |b, &n| {
-            let e = chain(n);
-            b.iter_batched(
-                || e.clone(),
-                |mut e| {
-                    let _ = e.assert(n, 0, Assertion::ContainedIn, |x| format!("n{x}"));
-                },
-                criterion::BatchSize::SmallInput,
-            );
-        });
-        group.bench_with_input(BenchmarkId::new("naive_recompute", n), &n, |b, &n| {
-            // Ablation: full fixpoint recomputation over all triples vs
-            // the incremental worklist.
-            let facts: Vec<(u32, u32, Rel5Set)> = (0..n)
-                .map(|i| (i, i + 1, Rel5Set::only(Rel5::Pp)))
-                .collect();
-            b.iter(|| naive_path_consistency(&facts).unwrap());
-        });
-        group.bench_with_input(BenchmarkId::new("star_equalities", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut e = AssertionEngine::new();
-                for i in 1..=n {
-                    e.assert(0, i, Assertion::Equal, |x| format!("n{x}")).unwrap();
-                }
-                e
-            });
+        bench.run(format!("star_equalities/{n}"), || {
+            let mut e = AssertionEngine::new();
+            for i in 1..=n {
+                e.assert(0, i, Assertion::Equal, |x| format!("n{x}")).unwrap();
+            }
+            e
         });
     }
-    group.finish();
+    bench.finish().expect("write BENCH_closure.json");
 }
-
-criterion_group!(benches, bench_closure);
-criterion_main!(benches);

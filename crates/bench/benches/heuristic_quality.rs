@@ -2,7 +2,7 @@
 //! `report` binary): attribute-ratio ranking vs weighted matcher
 //! suggestion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sit_bench::harness::Bench;
 use sit_bench::{drive_session, Phase2Strategy, Phase3Strategy};
 use sit_core::session::Session;
 use sit_datagen::oracle::GroundTruthOracle;
@@ -10,11 +10,8 @@ use sit_datagen::GeneratorConfig;
 use sit_matcher::suggest::suggest_equivalences;
 use sit_matcher::WeightedResemblance;
 
-fn bench_heuristics(c: &mut Criterion) {
-    let mut group = c.benchmark_group("heuristic_quality");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(2));
+fn main() {
+    let mut bench = Bench::new("heuristic_quality").with_counts(2, 20);
     for objects in [8usize, 16, 32] {
         let pair = GeneratorConfig {
             objects_per_schema: objects,
@@ -31,28 +28,17 @@ fn bench_heuristics(c: &mut Criterion) {
             Phase2Strategy::Exhaustive,
             Phase3Strategy::Ranked,
         );
-        group.bench_with_input(
-            BenchmarkId::new("attribute_ratio_rank", objects),
-            &objects,
-            |b, _| {
-                b.iter(|| driven.session.candidates(driven.ids.0, driven.ids.1));
-            },
-        );
+        bench.run(format!("attribute_ratio_rank/{objects}"), || {
+            driven.session.candidates(driven.ids.0, driven.ids.1)
+        });
         // Matcher suggestion sweep over all attribute pairs.
         let mut session = Session::new();
         let sa = session.add_schema(pair.a.clone()).unwrap();
         let sb = session.add_schema(pair.b.clone()).unwrap();
         let w = WeightedResemblance::default();
-        group.bench_with_input(
-            BenchmarkId::new("matcher_suggest", objects),
-            &objects,
-            |b, _| {
-                b.iter(|| suggest_equivalences(session.catalog(), &w, sa, sb, 0.55));
-            },
-        );
+        bench.run(format!("matcher_suggest/{objects}"), || {
+            suggest_equivalences(session.catalog(), &w, sa, sb, 0.55)
+        });
     }
-    group.finish();
+    bench.finish().expect("write BENCH_heuristic_quality.json");
 }
-
-criterion_group!(benches, bench_heuristics);
-criterion_main!(benches);

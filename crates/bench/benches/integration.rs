@@ -1,16 +1,13 @@
 //! B4 — full integration (phase 4) cost over size and overlap.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sit_bench::harness::Bench;
 use sit_bench::{drive_session, Phase2Strategy, Phase3Strategy};
 use sit_core::integrate::IntegrationOptions;
 use sit_datagen::oracle::GroundTruthOracle;
 use sit_datagen::GeneratorConfig;
 
-fn bench_integration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("integration");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(2));
+fn main() {
+    let mut bench = Bench::new("integration").with_counts(2, 20);
     for (objects, overlap) in [(8usize, 0.5), (16, 0.5), (16, 0.25), (16, 0.75)] {
         let pair = GeneratorConfig {
             objects_per_schema: objects,
@@ -27,30 +24,23 @@ fn bench_integration(c: &mut Criterion) {
             Phase3Strategy::RankedWithClosure,
         );
         let id = format!("{objects}obj_{overlap}ov");
-        group.bench_with_input(BenchmarkId::new("integrate", &id), &id, |b, _| {
-            b.iter(|| {
-                driven
-                    .session
-                    .integrate(driven.ids.0, driven.ids.1, &IntegrationOptions::default())
-                    .unwrap()
-            });
+        bench.run(format!("integrate/{id}"), || {
+            driven
+                .session
+                .integrate(driven.ids.0, driven.ids.1, &IntegrationOptions::default())
+                .unwrap()
         });
         // Ablation: pull-up of common attributes to derived superclasses.
-        group.bench_with_input(BenchmarkId::new("integrate_pull_up", &id), &id, |b, _| {
-            let options = IntegrationOptions {
-                pull_up_common_attrs: true,
-                ..Default::default()
-            };
-            b.iter(|| {
-                driven
-                    .session
-                    .integrate(driven.ids.0, driven.ids.1, &options)
-                    .unwrap()
-            });
+        let options = IntegrationOptions {
+            pull_up_common_attrs: true,
+            ..Default::default()
+        };
+        bench.run(format!("integrate_pull_up/{id}"), || {
+            driven
+                .session
+                .integrate(driven.ids.0, driven.ids.1, &options)
+                .unwrap()
         });
     }
-    group.finish();
+    bench.finish().expect("write BENCH_integration.json");
 }
-
-criterion_group!(benches, bench_integration);
-criterion_main!(benches);

@@ -1,14 +1,11 @@
 //! B6 — n-ary fold cost and order selection cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sit_bench::harness::Bench;
 use sit_datagen::GeneratorConfig;
 use sit_matcher::{best_integration_order, schema_resemblance, WeightedResemblance};
 
-fn bench_nary(c: &mut Criterion) {
-    let mut group = c.benchmark_group("nary_order");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(2));
+fn main() {
+    let mut bench = Bench::new("nary_order").with_counts(2, 20);
     for n in [3usize, 5, 8] {
         let family = GeneratorConfig {
             objects_per_schema: 8,
@@ -19,15 +16,12 @@ fn bench_nary(c: &mut Criterion) {
         .generate_family(n);
         let w = WeightedResemblance::default();
         let refs: Vec<&sit_ecr::Schema> = family.schemas.iter().collect();
-        group.bench_with_input(BenchmarkId::new("order_selection", n), &n, |b, _| {
-            b.iter(|| best_integration_order(&w, &refs));
+        bench.run(format!("order_selection/{n}"), || {
+            best_integration_order(&w, &refs)
         });
-        group.bench_with_input(BenchmarkId::new("pairwise_resemblance", n), &n, |b, _| {
-            b.iter(|| schema_resemblance(&w, refs[0], refs[1 % refs.len()]));
+        bench.run(format!("pairwise_resemblance/{n}"), || {
+            schema_resemblance(&w, refs[0], refs[1 % refs.len()])
         });
     }
-    group.finish();
+    bench.finish().expect("write BENCH_nary_order.json");
 }
-
-criterion_group!(benches, bench_nary);
-criterion_main!(benches);

@@ -1,16 +1,13 @@
 //! B5 — ACS→OCS matrix derivation cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sit_bench::harness::Bench;
 use sit_bench::{drive_session, Phase2Strategy, Phase3Strategy};
 use sit_core::resemblance::{ocs_matrix, ocs_sparse};
 use sit_datagen::oracle::GroundTruthOracle;
 use sit_datagen::GeneratorConfig;
 
-fn bench_ocs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ocs");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(2));
+fn main() {
+    let mut bench = Bench::new("ocs").with_counts(2, 20);
     for objects in [8usize, 16, 32] {
         let pair = GeneratorConfig {
             objects_per_schema: objects,
@@ -27,34 +24,27 @@ fn bench_ocs(c: &mut Criterion) {
             Phase3Strategy::Ranked,
         );
         let (sa, sb) = driven.ids;
-        group.bench_with_input(BenchmarkId::new("derive", objects), &objects, |b, _| {
-            b.iter(|| {
-                ocs_matrix(
-                    driven.session.catalog(),
-                    driven.session.equivalences(),
-                    sa,
-                    sb,
-                )
-            });
+        bench.run(format!("derive/{objects}"), || {
+            ocs_matrix(
+                driven.session.catalog(),
+                driven.session.equivalences(),
+                sa,
+                sb,
+            )
         });
-        group.bench_with_input(BenchmarkId::new("derive_sparse", objects), &objects, |b, _| {
-            // Ablation: class-walk accumulation instead of the dense
-            // object-pair scan.
-            b.iter(|| {
-                ocs_sparse(
-                    driven.session.catalog(),
-                    driven.session.equivalences(),
-                    sa,
-                    sb,
-                )
-            });
+        // Ablation: class-walk accumulation instead of the dense
+        // object-pair scan.
+        bench.run(format!("derive_sparse/{objects}"), || {
+            ocs_sparse(
+                driven.session.catalog(),
+                driven.session.equivalences(),
+                sa,
+                sb,
+            )
         });
-        group.bench_with_input(BenchmarkId::new("ranked_pairs", objects), &objects, |b, _| {
-            b.iter(|| driven.session.candidates(sa, sb));
+        bench.run(format!("ranked_pairs/{objects}"), || {
+            driven.session.candidates(sa, sb)
         });
     }
-    group.finish();
+    bench.finish().expect("write BENCH_ocs.json");
 }
-
-criterion_group!(benches, bench_ocs);
-criterion_main!(benches);

@@ -1,16 +1,13 @@
 //! B1 — end-to-end phase 2+3 drive cost per strategy (the question-count
 //! *numbers* are printed by the `report` binary; this measures the time).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sit_bench::harness::Bench;
 use sit_bench::{drive_session, Phase2Strategy, Phase3Strategy};
 use sit_datagen::oracle::GroundTruthOracle;
 use sit_datagen::GeneratorConfig;
 
-fn bench_drive(c: &mut Criterion) {
-    let mut group = c.benchmark_group("question_count");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(2));
+fn main() {
+    let mut bench = Bench::new("question_count").with_counts(2, 20);
     let pair = GeneratorConfig {
         objects_per_schema: 16,
         overlap: 0.5,
@@ -23,15 +20,10 @@ fn bench_drive(c: &mut Criterion) {
         ("ranked", Phase3Strategy::Ranked),
         ("ranked_closure", Phase3Strategy::RankedWithClosure),
     ] {
-        group.bench_with_input(BenchmarkId::new("drive", label), &strategy, |b, &s| {
-            b.iter(|| {
-                let mut oracle = GroundTruthOracle::new(&pair.truth);
-                drive_session(&pair, &mut oracle, Phase2Strategy::Exhaustive, s)
-            });
+        bench.run(format!("drive/{label}"), || {
+            let mut oracle = GroundTruthOracle::new(&pair.truth);
+            drive_session(&pair, &mut oracle, Phase2Strategy::Exhaustive, strategy)
         });
     }
-    group.finish();
+    bench.finish().expect("write BENCH_question_count.json");
 }
-
-criterion_group!(benches, bench_drive);
-criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! B7 — relational and hierarchical schema translation throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sit_bench::harness::Bench;
 use sit_translate::{HierSchema, RecordType, RelSchema, Table};
 
 fn relational(tables: usize) -> RelSchema {
@@ -35,23 +35,13 @@ fn hierarchy(records: usize) -> HierSchema {
     h
 }
 
-fn bench_translate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("translate");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(2));
+fn main() {
+    let mut bench = Bench::new("translate").with_counts(2, 20);
     for n in [10usize, 50, 200] {
         let rel = relational(n);
-        group.bench_with_input(BenchmarkId::new("relational", n), &n, |b, _| {
-            b.iter(|| rel.to_ecr().unwrap());
-        });
+        bench.run(format!("relational/{n}"), || rel.to_ecr().unwrap());
         let hier = hierarchy(n);
-        group.bench_with_input(BenchmarkId::new("hierarchical", n), &n, |b, _| {
-            b.iter(|| hier.to_ecr().unwrap());
-        });
+        bench.run(format!("hierarchical/{n}"), || hier.to_ecr().unwrap());
     }
-    group.finish();
+    bench.finish().expect("write BENCH_translate.json");
 }
-
-criterion_group!(benches, bench_translate);
-criterion_main!(benches);

@@ -6,9 +6,14 @@
 //! report            # all tables
 //! report B1         # one table
 //! ```
+//!
+//! Besides the plain-text tables, every measured section is collected
+//! into `BENCH_report.json` (sections sorted by code, fixed key order),
+//! so successive PRs produce a diffable perf/quality trajectory.
 
 use std::time::Instant;
 
+use sit_bench::harness::json_string;
 use sit_bench::{
     drive_session, random_pairs, ranking_quality, table, Phase2Strategy, Phase3Strategy,
 };
@@ -22,37 +27,114 @@ use sit_translate::{HierSchema, RecordType, RelSchema, Table};
 fn main() {
     let which: Vec<String> = std::env::args().skip(1).collect();
     let want = |name: &str| which.is_empty() || which.iter().any(|w| w == name);
+    let mut report = Report::default();
     if want("B1") {
-        b1_question_count();
+        b1_question_count(&mut report);
     }
     if want("B2") {
-        b2_heuristic_quality();
+        b2_heuristic_quality(&mut report);
     }
     if want("B3") {
-        b3_closure_cost();
+        b3_closure_cost(&mut report);
     }
     if want("B4") {
-        b4_integration_cost();
+        b4_integration_cost(&mut report);
     }
     if want("B5") {
-        b5_ocs_cost();
+        b5_ocs_cost(&mut report);
     }
     if want("B6") {
-        b6_nary_order();
+        b6_nary_order(&mut report);
     }
     if want("B7") {
-        b7_translation();
+        b7_translation(&mut report);
     }
+    report
+        .write_json(std::path::Path::new("BENCH_report.json"))
+        .expect("write BENCH_report.json");
 }
 
-fn banner(code: &str, title: &str) {
-    println!("\n### {code} — {title}\n");
+/// One measured table: printed as before, and one entry of
+/// `BENCH_report.json`.
+struct Section {
+    code: String,
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    note: Option<String>,
+}
+
+/// Collects every section the selected tables produced.
+#[derive(Default)]
+struct Report {
+    sections: Vec<Section>,
+}
+
+impl Report {
+    /// Print a table the way the report always has, and record it.
+    fn section(
+        &mut self,
+        code: &str,
+        title: &str,
+        headers: &[&str],
+        rows: Vec<Vec<String>>,
+        note: Option<&str>,
+    ) {
+        println!("\n### {code} — {title}\n");
+        println!("{}", table(headers, &rows));
+        if let Some(note) = note {
+            println!("{note}");
+        }
+        self.sections.push(Section {
+            code: code.to_owned(),
+            title: title.to_owned(),
+            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
+            rows,
+            note: note.map(str::to_owned),
+        });
+    }
+
+    /// The JSON trajectory record: one object per section, keyed and
+    /// sorted by section code, with fixed key order inside each section.
+    fn write_json(mut self, path: &std::path::Path) -> std::io::Result<()> {
+        self.sections.sort_by(|a, b| a.code.cmp(&b.code));
+        let mut out = String::from("{\n");
+        for (i, s) in self.sections.iter().enumerate() {
+            let strings = |xs: &[String]| {
+                xs.iter().map(|x| json_string(x)).collect::<Vec<_>>().join(", ")
+            };
+            out.push_str(&format!(
+                "  {}: {{\n    \"title\": {},\n    \"headers\": [{}],\n    \"rows\": [\n",
+                json_string(&s.code),
+                json_string(&s.title),
+                strings(&s.headers)
+            ));
+            for (j, row) in s.rows.iter().enumerate() {
+                out.push_str(&format!(
+                    "      [{}]{}\n",
+                    strings(row),
+                    if j + 1 < s.rows.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("    ]");
+            if let Some(note) = &s.note {
+                out.push_str(&format!(",\n    \"note\": {}", json_string(note)));
+            }
+            out.push_str(&format!(
+                "\n  }}{}\n",
+                if i + 1 < self.sections.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("}\n");
+        std::fs::write(path, out)?;
+        println!("\nwrote {}", path.display());
+        Ok(())
+    }
 }
 
 /// B1: DDA question count — naive all-pairs vs OCS-ranked vs ranked plus
 /// transitive derivation, over schema size.
-fn b1_question_count() {
-    banner("B1", "DDA question count by strategy (phase 3 object questions)");
+fn b1_question_count(report: &mut Report) {
     let mut rows = Vec::new();
     for objects in [6, 12, 24, 48] {
         let pair = GeneratorConfig {
@@ -76,20 +158,18 @@ fn b1_question_count() {
         }
         rows.push(row);
     }
-    println!(
-        "{}",
-        table(
-            &["objects/schema", "true pairs", "all-pairs", "ranked", "ranked+closure"],
-            &rows
-        )
+    report.section(
+        "B1",
+        "DDA question count by strategy (phase 3 object questions)",
+        &["objects/schema", "true pairs", "all-pairs", "ranked", "ranked+closure"],
+        rows,
+        Some("shape check: all-pairs >> ranked >= ranked+closure"),
     );
-    println!("shape check: all-pairs >> ranked >= ranked+closure");
 }
 
 /// B2: ranking quality — random order vs attribute-ratio vs weighted
 /// matcher-based suggestion pipeline.
-fn b2_heuristic_quality() {
-    banner("B2", "candidate-ranking quality (precision@k / recall / MRR)");
+fn b2_heuristic_quality(report: &mut Report) {
     let mut rows = Vec::new();
     for (label, rename_prob) in [("clean names", 0.0), ("noisy names", 0.6)] {
         let pair = GeneratorConfig {
@@ -142,16 +222,17 @@ fn b2_heuristic_quality() {
             ]);
         }
     }
-    println!(
-        "{}",
-        table(&["workload", "ranking", "prec@k", "recall", "MRR"], &rows)
+    report.section(
+        "B2",
+        "candidate-ranking quality (precision@k / recall / MRR)",
+        &["workload", "ranking", "prec@k", "recall", "MRR"],
+        rows,
+        Some("shape check: attribute ratio >> random; matcher holds up under noisy names"),
     );
-    println!("shape check: attribute ratio >> random; matcher holds up under noisy names");
 }
 
 /// B3: closure cost — assertion propagation and conflict detection time.
-fn b3_closure_cost() {
-    banner("B3", "transitive derivation cost (chain of contained-in assertions)");
+fn b3_closure_cost(report: &mut Report) {
     let mut rows = Vec::new();
     for n in [25usize, 50, 100, 200] {
         let mut engine = sit_core::closure::AssertionEngine::<u32>::new();
@@ -175,18 +256,17 @@ fn b3_closure_cost() {
             format!("{:.2?}", conflict_time),
         ]);
     }
-    println!(
-        "{}",
-        table(
-            &["chain length", "assert+derive time", "pinned pairs", "conflict check"],
-            &rows
-        )
+    report.section(
+        "B3",
+        "transitive derivation cost (chain of contained-in assertions)",
+        &["chain length", "assert+derive time", "pinned pairs", "conflict check"],
+        rows,
+        None,
     );
 }
 
 /// B4: full four-phase pipeline cost over schema size and overlap.
-fn b4_integration_cost() {
-    banner("B4", "integration pipeline cost (drive phases 2-3, then integrate)");
+fn b4_integration_cost(report: &mut Report) {
     let mut rows = Vec::new();
     for (objects, overlap) in [(8, 0.5), (16, 0.5), (32, 0.5), (16, 0.25), (16, 0.75)] {
         let pair = GeneratorConfig {
@@ -219,18 +299,17 @@ fn b4_integration_cost() {
             result.schema.object_count().to_string(),
         ]);
     }
-    println!(
-        "{}",
-        table(
-            &["objects/schema", "overlap", "phases 2-3", "phase 4", "integrated objects"],
-            &rows
-        )
+    report.section(
+        "B4",
+        "integration pipeline cost (drive phases 2-3, then integrate)",
+        &["objects/schema", "overlap", "phases 2-3", "phase 4", "integrated objects"],
+        rows,
+        None,
     );
 }
 
 /// B5: ACS→OCS derivation cost.
-fn b5_ocs_cost() {
-    banner("B5", "OCS matrix derivation cost");
+fn b5_ocs_cost(report: &mut Report) {
     let mut rows = Vec::new();
     for objects in [8usize, 16, 32, 64] {
         let pair = GeneratorConfig {
@@ -264,9 +343,12 @@ fn b5_ocs_cost() {
             format!("{:.2?}", elapsed),
         ]);
     }
-    println!(
-        "{}",
-        table(&["objects/schema", "matrix", "nonzero entries", "derive time"], &rows)
+    report.section(
+        "B5",
+        "OCS matrix derivation cost",
+        &["objects/schema", "matrix", "nonzero entries", "derive time"],
+        rows,
+        None,
     );
 }
 
@@ -276,8 +358,7 @@ fn b5_ocs_cost() {
 /// report can track, via integration provenance, which original concepts
 /// each accumulated object class carries — the DDA-question model charges
 /// one question per (accumulated object × next-schema object) pair.
-fn b6_nary_order() {
-    banner("B6", "n-ary fold order: resemblance-guided vs reverse order");
+fn b6_nary_order(report: &mut Report) {
     let config = GeneratorConfig {
         objects_per_schema: 8,
         overlap: 0.75,
@@ -307,14 +388,15 @@ fn b6_nary_order() {
             format!("{:.2?}", elapsed),
         ]);
     }
-    println!(
-        "{}",
-        table(&["fold order", "questions", "final objects", "time"], &rows)
+    report.section(
+        "B6",
+        "n-ary fold order: resemblance-guided vs reverse order",
+        &["fold order", "questions", "final objects", "time"],
+        rows,
+        Some("shape check: guided order merges similar schemas early and asks fewer questions"),
     );
-    println!("shape check: guided order merges similar schemas early and asks fewer questions");
 
     // Noise sensitivity: the same drive under a forgetful DDA.
-    banner("B6b", "question count under a noisy DDA (error rate sweep)");
     let pair = GeneratorConfig {
         objects_per_schema: 24,
         overlap: 0.8,
@@ -338,9 +420,12 @@ fn b6_nary_order() {
             pair.truth.pair_count().to_string(),
         ]);
     }
-    println!(
-        "{}",
-        table(&["error rate", "asserted", "conflicts", "true pairs"], &rows)
+    report.section(
+        "B6b",
+        "question count under a noisy DDA (error rate sweep)",
+        &["error rate", "asserted", "conflicts", "true pairs"],
+        rows,
+        None,
     );
 }
 
@@ -457,8 +542,7 @@ fn run_fold(family: &sit_datagen::SchemaFamily, order: &[usize]) -> FoldOutcome 
 }
 
 /// B7: translation throughput (relational and hierarchical → ECR).
-fn b7_translation() {
-    banner("B7", "schema translation throughput");
+fn b7_translation(report: &mut Report) {
     let mut rows = Vec::new();
     for tables in [10usize, 50, 200] {
         let rel = make_relational(tables);
@@ -484,9 +568,12 @@ fn b7_translation() {
             format!("{:.2?}", elapsed),
         ]);
     }
-    println!(
-        "{}",
-        table(&["source", "entity sets", "relationships", "translate time"], &rows)
+    report.section(
+        "B7",
+        "schema translation throughput",
+        &["source", "entity sets", "relationships", "translate time"],
+        rows,
+        None,
     );
 }
 

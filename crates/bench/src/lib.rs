@@ -6,14 +6,18 @@
 //!
 //! * the `figures` binary regenerates every *artifact* — Figures 2a–2e and
 //!   5, Screens 7–12 — from the actual engine;
-//! * the Criterion benches and the `report` binary *measure* the paper's
+//! * the harness-driven benches and the `report` binary *measure* the paper's
 //!   qualitative claims on synthetic workloads (see EXPERIMENTS.md:
 //!   B1–B7): DDA question counts under different strategies, ranking
 //!   quality, closure/integration/OCS cost, fold-order effects, and
 //!   translation throughput.
 //!
 //! This library holds the pieces both halves share: the oracle-driven
-//! session driver ([`drive_session`]) and the ranking-quality metrics.
+//! session driver ([`drive_session`]), the ranking-quality metrics, and
+//! the in-tree micro-bench [`harness`] the bench targets and the `report`
+//! binary record their timings with.
+
+pub mod harness;
 
 use sit_core::catalog::GObj;
 use sit_core::error::CoreError;
@@ -238,8 +242,6 @@ pub fn ranking_quality(
 /// A random-order baseline for the ranking comparison: the same candidate
 /// universe (all cross pairs), shuffled deterministically.
 pub fn random_pairs(session: &Session, sa: SchemaId, sb: SchemaId, seed: u64) -> Vec<CandidatePair<GObj>> {
-    use rand::seq::SliceRandom;
-    use rand::SeedableRng;
     let catalog = session.catalog();
     let mut out: Vec<CandidatePair<GObj>> = catalog
         .objects_of(sa)
@@ -252,8 +254,8 @@ pub fn random_pairs(session: &Session, sa: SchemaId, sb: SchemaId, seed: u64) ->
             })
         })
         .collect();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    out.shuffle(&mut rng);
+    let mut rng = sit_prng::Xoshiro256pp::seed_from_u64(seed);
+    rng.shuffle(&mut out);
     out
 }
 

@@ -38,18 +38,20 @@ fn equivalent_count(
     right_matches: impl Fn(GAttr) -> bool,
 ) -> usize {
     // For every attribute of the left owner, check whether its class has a
-    // member in the right owner; count distinct classes.
+    // member in the right owner; count distinct classes. `counted_classes`
+    // stays sorted so the dedup check is a binary search instead of a
+    // linear scan per attribute.
     let mut counted_classes = Vec::new();
     let mut count = 0;
     for a in left {
         let Some(no) = equiv.class_no(a) else {
             continue;
         };
-        if counted_classes.contains(&no) {
+        let Err(insert_at) = counted_classes.binary_search(&no) else {
             continue;
-        }
+        };
         if equiv.class_members(a).into_iter().any(&right_matches) {
-            counted_classes.push(no);
+            counted_classes.insert(insert_at, no);
             count += 1;
         }
     }

@@ -5,8 +5,7 @@
 //! human with an oracle that answers the tool's two question types:
 //! attribute equivalence (phase 2) and object-pair assertions (phase 3).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sit_prng::Xoshiro256pp;
 
 use sit_core::assertion::Assertion;
 
@@ -63,7 +62,7 @@ impl DdaOracle for GroundTruthOracle<'_> {
 #[derive(Clone, Debug)]
 pub struct NoisyOracle<'a> {
     truth: &'a GroundTruth,
-    rng: StdRng,
+    rng: Xoshiro256pp,
     /// Probability of a wrong answer per question.
     pub error_rate: f64,
     /// Number of questions answered so far.
@@ -75,7 +74,7 @@ impl<'a> NoisyOracle<'a> {
     pub fn new(truth: &'a GroundTruth, error_rate: f64, seed: u64) -> Self {
         Self {
             truth,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256pp::seed_from_u64(seed),
             error_rate,
             questions: 0,
         }

@@ -1,8 +1,7 @@
 //! Naming and attribute perturbations: how the same concept ends up
 //! looking different in two independently designed schemas.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use sit_prng::Xoshiro256pp;
 
 use crate::concepts::{Concept, ConceptAttr};
 
@@ -50,7 +49,7 @@ pub struct RenderedAttr {
 
 impl Perturber {
     /// Render `concept` for one schema.
-    pub fn render(&self, concept: &Concept, rng: &mut StdRng) -> Rendering {
+    pub fn render(&self, concept: &Concept, rng: &mut Xoshiro256pp) -> Rendering {
         let name = self.pick_name(&concept.name, &concept.alternates, rng);
         let mut attrs = Vec::new();
         for (i, proto) in concept.attrs.iter().enumerate() {
@@ -63,7 +62,7 @@ impl Perturber {
             });
         }
         if rng.gen_bool(self.extra_attr_prob) {
-            let extra_no: u32 = rng.gen_range(0..1000);
+            let extra_no: u32 = rng.gen_range(0u32..1000);
             attrs.push(RenderedAttr {
                 proto: None,
                 attr: sit_ecr::Attribute::new(
@@ -81,7 +80,7 @@ impl Perturber {
         &self,
         concept: &Concept,
         prefix: &str,
-        rng: &mut StdRng,
+        rng: &mut Xoshiro256pp,
     ) -> Rendering {
         let base = self.pick_name(&concept.name, &concept.alternates, rng);
         let mut attrs = Vec::new();
@@ -94,7 +93,7 @@ impl Perturber {
                 });
             }
         }
-        let extra_no: u32 = rng.gen_range(0..1000);
+        let extra_no: u32 = rng.gen_range(0u32..1000);
         attrs.push(RenderedAttr {
             proto: None,
             attr: sit_ecr::Attribute::new(
@@ -108,7 +107,7 @@ impl Perturber {
         }
     }
 
-    fn render_attr(&self, proto: &ConceptAttr, rng: &mut StdRng) -> sit_ecr::Attribute {
+    fn render_attr(&self, proto: &ConceptAttr, rng: &mut Xoshiro256pp) -> sit_ecr::Attribute {
         let name = self.pick_name(&proto.name, &proto.alternates, rng);
         sit_ecr::Attribute {
             name,
@@ -117,7 +116,7 @@ impl Perturber {
         }
     }
 
-    fn pick_name(&self, canonical: &str, alternates: &[String], rng: &mut StdRng) -> String {
+    fn pick_name(&self, canonical: &str, alternates: &[String], rng: &mut Xoshiro256pp) -> String {
         if !alternates.is_empty() && rng.gen_bool(self.rename_prob) {
             alternates[rng.gen_range(0..alternates.len())].clone()
         } else {
@@ -130,8 +129,7 @@ impl Perturber {
 mod tests {
     use super::*;
     use crate::concepts::ConceptPool;
-    use rand::SeedableRng;
-
+    
     #[test]
     fn render_keeps_keys_and_tracks_prototypes() {
         let pool = ConceptPool::builtin();
@@ -139,7 +137,7 @@ mod tests {
             drop_attr_prob: 0.9,
             ..Default::default()
         };
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
         for c in pool.concepts() {
             let r = p.render(c, &mut rng);
             // The key always survives.
@@ -165,7 +163,7 @@ mod tests {
             drop_attr_prob: 0.0,
             extra_attr_prob: 0.0,
         };
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let r = p.render(pool.get(0), &mut rng);
         assert_eq!(r.name, pool.get(0).name);
         assert_eq!(r.attrs.len(), pool.get(0).attrs.len());
@@ -179,7 +177,7 @@ mod tests {
             drop_attr_prob: 0.0,
             extra_attr_prob: 0.0,
         };
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let c = pool.get(0);
         let r = p.render(c, &mut rng);
         assert!(c.alternates.contains(&r.name), "{}", r.name);
@@ -192,7 +190,7 @@ mod tests {
             rename_prob: 0.0,
             ..Default::default()
         };
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let r = p.render_specialization(pool.get(0), "Senior", &mut rng);
         assert!(r.name.starts_with("Senior_"));
         assert!(r.attrs.iter().any(|a| a.proto.is_none()), "subset-specific attr");
@@ -203,8 +201,8 @@ mod tests {
     fn rendering_is_deterministic_per_seed() {
         let pool = ConceptPool::builtin();
         let p = Perturber::default();
-        let mut r1 = StdRng::seed_from_u64(42);
-        let mut r2 = StdRng::seed_from_u64(42);
+        let mut r1 = Xoshiro256pp::seed_from_u64(42);
+        let mut r2 = Xoshiro256pp::seed_from_u64(42);
         let a = p.render(pool.get(3), &mut r1);
         let b = p.render(pool.get(3), &mut r2);
         assert_eq!(a.name, b.name);

@@ -1,21 +1,27 @@
 //! Property-based tests of the ECR substrate: the cardinality algebra and
-//! the IS-A graph invariants.
+//! the IS-A graph invariants. Driven by the seeded in-tree runner
+//! (`sit_prng::prop`), so every run executes the same cases and a failure
+//! reports its reproducing seed.
 
-use proptest::prelude::*;
 use sit_ecr::{Cardinality, Domain, IsaGraph, SchemaBuilder};
+use sit_prng::{prop, prop_assert, prop_assert_eq, Xoshiro256pp};
 
-fn arb_card() -> impl Strategy<Value = Cardinality> {
-    (0u32..5, prop::option::of(1u32..8)).prop_map(|(min, max)| {
-        let max = max.map(|m| m.max(min).max(1));
-        Cardinality::new(min, max)
-    })
+fn arb_card(rng: &mut Xoshiro256pp) -> Cardinality {
+    let min = rng.gen_range(0u32..5);
+    let max = if rng.gen_bool(0.5) {
+        None
+    } else {
+        Some(rng.gen_range(1u32..8).max(min).max(1))
+    };
+    Cardinality::new(min, max)
 }
 
-proptest! {
-    /// `widen` is commutative, associative, idempotent, and its result
-    /// subsumes both inputs.
-    #[test]
-    fn widen_is_a_join(a in arb_card(), b in arb_card(), c in arb_card()) {
+/// `widen` is commutative, associative, idempotent, and its result
+/// subsumes both inputs.
+#[test]
+fn widen_is_a_join() {
+    prop::check("widen_is_a_join", |rng| {
+        let (a, b, c) = (arb_card(rng), arb_card(rng), arb_card(rng));
         prop_assert!(a.is_valid() && b.is_valid());
         prop_assert_eq!(a.widen(&b), b.widen(&a));
         prop_assert_eq!(a.widen(&a), a);
@@ -24,11 +30,15 @@ proptest! {
         prop_assert!(w.is_valid());
         prop_assert!(w.subsumes(&a), "{w} subsumes {a}");
         prop_assert!(w.subsumes(&b), "{w} subsumes {b}");
-    }
+        Ok(())
+    });
+}
 
-    /// `subsumes` is a partial order consistent with `widen`.
-    #[test]
-    fn subsumption_partial_order(a in arb_card(), b in arb_card()) {
+/// `subsumes` is a partial order consistent with `widen`.
+#[test]
+fn subsumption_partial_order() {
+    prop::check("subsumption_partial_order", |rng| {
+        let (a, b) = (arb_card(rng), arb_card(rng));
         prop_assert!(a.subsumes(&a), "reflexive");
         if a.subsumes(&b) && b.subsumes(&a) {
             prop_assert_eq!(a, b, "antisymmetric");
@@ -36,11 +46,15 @@ proptest! {
         if a.subsumes(&b) {
             prop_assert_eq!(a.widen(&b), a, "join with a subsumed value is identity");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Cardinality display round-trips through the DDL.
-    #[test]
-    fn cardinality_roundtrips_through_ddl(card in arb_card()) {
+/// Cardinality display round-trips through the DDL.
+#[test]
+fn cardinality_roundtrips_through_ddl() {
+    prop::check("cardinality_roundtrips_through_ddl", |rng| {
+        let card = arb_card(rng);
         let mut b = SchemaBuilder::new("c");
         let x = b.entity_set("X").attr_key("id", Domain::Int).finish();
         let y = b.entity_set("Y").finish();
@@ -53,12 +67,17 @@ proptest! {
         let back = sit_ecr::ddl::parse(&text).unwrap();
         let r = back.relationship(back.rel_by_name("R").unwrap());
         prop_assert_eq!(r.participants[0].cardinality, card);
-    }
+        Ok(())
+    });
+}
 
-    /// Chains of categories always topo-sort, and descendants/ancestors
-    /// are inverse views.
-    #[test]
-    fn isa_graph_invariants(depth in 1usize..8, fanout in 1usize..3) {
+/// Chains of categories always topo-sort, and descendants/ancestors
+/// are inverse views.
+#[test]
+fn isa_graph_invariants() {
+    prop::check("isa_graph_invariants", |rng| {
+        let depth = rng.gen_range(1usize..8);
+        let fanout = rng.gen_range(1usize..3);
         let mut b = SchemaBuilder::new("g");
         b.entity_set("Root").finish();
         let mut prev = vec!["Root".to_owned()];
@@ -89,5 +108,6 @@ proptest! {
         }
         // Roots are exactly the entity sets.
         prop_assert_eq!(g.roots().len(), 1);
-    }
+        Ok(())
+    });
 }

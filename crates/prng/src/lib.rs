@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! # sit-prng — hermetic randomness for the workspace
+//!
+//! The build environment has no crates.io access, so the workspace carries
+//! its own randomness instead of pulling `rand`/`proptest`/`criterion`:
+//!
+//! * [`SplitMix64`] — the seeding/stream-splitting generator (Steele,
+//!   Lea & Flood 2014). Every 64-bit seed yields a full-period sequence,
+//!   which makes it the right tool for expanding one user seed into
+//!   xoshiro state and for deriving independent per-case seeds in the
+//!   property runner.
+//! * [`Xoshiro256pp`] — xoshiro256++ (Blackman & Vigna 2019), the
+//!   workhorse stream: `gen_range`, Bernoulli draws, shuffles, and
+//!   weighted choice, everything `sit-datagen` and `sit-bench` sample.
+//! * [`prop`] — a seeded property-test runner: fixed default seed, a
+//!   derived seed per case, and failure reports that name the reproducing
+//!   seed, replacing the external `proptest` suites.
+//!
+//! Both generators are implemented from the public-domain reference code
+//! and verified against its published output vectors (see the
+//! known-answer tests), so sequences are reproducible across platforms
+//! and toolchains — the determinism the benchmarks and generated
+//! workloads rely on.
+
+pub mod prop;
+mod splitmix;
+mod xoshiro;
+
+pub use splitmix::SplitMix64;
+pub use xoshiro::{UniformRange, Xoshiro256pp};

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the workspace must build, test, and resolve its
+# dependency graph fully offline (no registry crates at all).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo build --release (offline) =="
+cargo build --release --workspace --all-targets
+
+echo "== cargo test -q (offline) =="
+cargo test -q --workspace
+
+echo "== dependency graph is sit-* only =="
+# Every package in the resolved graph must come from this workspace
+# (path sources named sit-*); any registry+/git+ source is a failure.
+meta_json="$(mktemp)"
+trap 'rm -f "$meta_json"' EXIT
+cargo metadata --format-version 1 --locked >"$meta_json"
+python3 - "$meta_json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as fh:
+    meta = json.load(fh)
+bad = []
+for pkg in meta["packages"]:
+    if pkg["source"] is not None or not pkg["name"].startswith("sit"):
+        bad.append(f'{pkg["name"]} {pkg["version"]} (source: {pkg["source"]})')
+if bad:
+    print("non-workspace crates in dependency graph:", file=sys.stderr)
+    for line in bad:
+        print(f"  {line}", file=sys.stderr)
+    sys.exit(1)
+names = sorted(p["name"] for p in meta["packages"])
+print(f"ok: {len(names)} workspace crates, no external deps: {', '.join(names)}")
+EOF
+
+echo "== verify OK =="

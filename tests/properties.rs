@@ -5,13 +5,15 @@
 //!   never derives a relation the witness violates;
 //! * the ECR DDL round-trips arbitrary generated schemas;
 //! * integration maps every component object and produces a valid schema.
-
-use proptest::prelude::*;
+//!
+//! Cases are drawn by the seeded in-tree runner (`sit_prng::prop`):
+//! deterministic across runs, with reproducing seeds on failure.
 
 use sit::core::assertion::{Assertion, Rel5, Rel5Set};
 use sit::core::closure::AssertionEngine;
 use sit::core::session::Session;
 use sit::ecr::{ddl, Cardinality, Domain, SchemaBuilder};
+use sit_prng::{prop, prop_assert, prop_assert_eq, Xoshiro256pp};
 
 // ---------------------------------------------------------------------
 // RCC5 algebra vs concrete sets
@@ -32,41 +34,47 @@ fn relate(a: u32, b: u32) -> Rel5 {
     }
 }
 
-fn nonempty_set() -> impl Strategy<Value = u32> {
-    (1u32..(1 << 10)).prop_filter("non-empty", |&s| s != 0)
+fn nonempty_set(rng: &mut Xoshiro256pp) -> u32 {
+    rng.gen_range(1u32..(1 << 10))
 }
 
-proptest! {
-    /// Soundness of composition: the actual relation between a and c is
-    /// always among the composed possibilities.
-    #[test]
-    fn composition_is_sound(a in nonempty_set(), b in nonempty_set(), c in nonempty_set()) {
+/// Soundness of composition: the actual relation between a and c is
+/// always among the composed possibilities.
+#[test]
+fn composition_is_sound() {
+    prop::check_cases("composition_is_sound", 256, |rng| {
+        let (a, b, c) = (nonempty_set(rng), nonempty_set(rng), nonempty_set(rng));
         let r = Rel5Set::only(relate(a, b));
         let s = Rel5Set::only(relate(b, c));
         let t = relate(a, c);
         prop_assert!(r.compose(s).contains(t));
-    }
+        Ok(())
+    });
+}
 
-    /// Converse round-trips and distributes over composition.
-    #[test]
-    fn converse_identities(bits1 in 0u8..32, bits2 in 0u8..32) {
-        let x = Rel5Set::from_bits(bits1);
-        let y = Rel5Set::from_bits(bits2);
+/// Converse round-trips and distributes over composition.
+#[test]
+fn converse_identities() {
+    prop::check_cases("converse_identities", 256, |rng| {
+        let x = Rel5Set::from_bits(rng.gen_range(0u8..32));
+        let y = Rel5Set::from_bits(rng.gen_range(0u8..32));
         prop_assert_eq!(x.converse().converse(), x);
         prop_assert_eq!(x.compose(y).converse(), y.converse().compose(x.converse()));
-    }
+        Ok(())
+    });
+}
 
-    /// The closure engine accepts any assertion set that has a concrete
-    /// witness, and every singleton it derives matches the witness.
-    #[test]
-    fn closure_sound_on_witnessed_worlds(
-        sets in prop::collection::vec(nonempty_set(), 3..8),
-        pairs in prop::collection::vec((0usize..8, 0usize..8), 1..12),
-    ) {
-        let n = sets.len();
+/// The closure engine accepts any assertion set that has a concrete
+/// witness, and every singleton it derives matches the witness.
+#[test]
+fn closure_sound_on_witnessed_worlds() {
+    prop::check_cases("closure_sound_on_witnessed_worlds", 256, |rng| {
+        let n = rng.gen_range(3usize..8);
+        let sets: Vec<u32> = (0..n).map(|_| nonempty_set(rng)).collect();
+        let pair_count = rng.gen_range(1usize..12);
         let mut engine: AssertionEngine<u32> = AssertionEngine::new();
-        for (i, j) in pairs {
-            let (i, j) = (i % n, j % n);
+        for _ in 0..pair_count {
+            let (i, j) = (rng.gen_range(0usize..8) % n, rng.gen_range(0usize..8) % n);
             if i == j {
                 continue;
             }
@@ -86,31 +94,57 @@ proptest! {
             let actual = relate(sets[d.a as usize], sets[d.b as usize]);
             prop_assert_eq!(d.rel, actual, "derived {} for ({},{})", d.rel, d.a, d.b);
         }
-    }
+        Ok(())
+    });
 }
 
 // ---------------------------------------------------------------------
 // DDL round-trip on generated schemas
 // ---------------------------------------------------------------------
 
-fn arb_domain() -> impl Strategy<Value = Domain> {
-    prop_oneof![
-        Just(Domain::Char),
-        Just(Domain::Int),
-        Just(Domain::Real),
-        Just(Domain::Bool),
-        Just(Domain::Date),
-        prop::collection::vec("[a-z]{1,6}", 1..4).prop_map(Domain::Enum),
-        "[a-z][a-z0-9_]{0,8}"
-            .prop_filter("not a reserved domain word", |s| {
-                !matches!(
-                    s.as_str(),
-                    "char" | "string" | "int" | "integer" | "real" | "float" | "bool"
-                        | "boolean" | "date" | "enum"
-                )
-            })
-            .prop_map(Domain::Named),
-    ]
+/// An identifier matching `[a-z][a-z0-9_]{0,8}`.
+fn ident(rng: &mut Xoshiro256pp) -> String {
+    const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+    let mut s = String::new();
+    s.push(FIRST[rng.gen_range(0..FIRST.len())] as char);
+    for _ in 0..rng.gen_range(0usize..9) {
+        s.push(REST[rng.gen_range(0..REST.len())] as char);
+    }
+    s
+}
+
+fn arb_domain(rng: &mut Xoshiro256pp) -> Domain {
+    match rng.gen_range(0u32..7) {
+        0 => Domain::Char,
+        1 => Domain::Int,
+        2 => Domain::Real,
+        3 => Domain::Bool,
+        4 => Domain::Date,
+        5 => {
+            let n = rng.gen_range(1usize..4);
+            Domain::Enum(
+                (0..n)
+                    .map(|_| {
+                        (0..rng.gen_range(1usize..7))
+                            .map(|_| (b'a' + rng.gen_range(0u8..26)) as char)
+                            .collect()
+                    })
+                    .collect(),
+            )
+        }
+        _ => loop {
+            let name = ident(rng);
+            let reserved = matches!(
+                name.as_str(),
+                "char" | "string" | "int" | "integer" | "real" | "float" | "bool"
+                    | "boolean" | "date" | "enum"
+            );
+            if !reserved {
+                break Domain::Named(name);
+            }
+        },
+    }
 }
 
 type AttrSpec = (String, Domain, bool);
@@ -122,21 +156,36 @@ struct ArbSchema {
     rels: Vec<(usize, usize, u32, Option<u32>)>,
 }
 
-fn arb_attrs() -> impl Strategy<Value = Vec<AttrSpec>> {
-    prop::collection::vec(("[a-z][a-z0-9_]{0,8}", arb_domain(), any::<bool>()), 0..5)
+fn arb_attrs(rng: &mut Xoshiro256pp) -> Vec<AttrSpec> {
+    (0..rng.gen_range(0usize..5))
+        .map(|_| (ident(rng), arb_domain(rng), rng.gen_bool(0.5)))
+        .collect()
 }
 
-fn arb_schema() -> impl Strategy<Value = ArbSchema> {
-    (
-        prop::collection::vec(arb_attrs(), 1..5),
-        prop::collection::vec((0usize..4, arb_attrs()), 0..3),
-        prop::collection::vec((0usize..4, 0usize..4, 0u32..3, prop::option::of(1u32..5)), 0..4),
-    )
-        .prop_map(|(entities, categories, rels)| ArbSchema {
-            entities,
-            categories,
-            rels,
+fn arb_schema(rng: &mut Xoshiro256pp) -> ArbSchema {
+    let entities = (0..rng.gen_range(1usize..5)).map(|_| arb_attrs(rng)).collect();
+    let categories = (0..rng.gen_range(0usize..3))
+        .map(|_| (rng.gen_range(0usize..4), arb_attrs(rng)))
+        .collect();
+    let rels = (0..rng.gen_range(0usize..4))
+        .map(|_| {
+            (
+                rng.gen_range(0usize..4),
+                rng.gen_range(0usize..4),
+                rng.gen_range(0u32..3),
+                if rng.gen_bool(0.5) {
+                    Some(rng.gen_range(1u32..5))
+                } else {
+                    None
+                },
+            )
         })
+        .collect();
+    ArbSchema {
+        entities,
+        categories,
+        rels,
+    }
 }
 
 fn build(spec: &ArbSchema) -> Option<sit::ecr::Schema> {
@@ -187,30 +236,32 @@ fn build(spec: &ArbSchema) -> Option<sit::ecr::Schema> {
     b.build().ok()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// `parse(print(s)) == s` for arbitrary valid schemas. Shadowed
-    /// category attributes with incompatible domains are rejected at build
-    /// time, which `build` surfaces as `None` (skipped case).
-    #[test]
-    fn ddl_roundtrip(spec in arb_schema()) {
+/// `parse(print(s)) == s` for arbitrary valid schemas. Shadowed
+/// category attributes with incompatible domains are rejected at build
+/// time, which `build` surfaces as `None` (skipped case).
+#[test]
+fn ddl_roundtrip() {
+    prop::check_cases("ddl_roundtrip", 64, |rng| {
+        let spec = arb_schema(rng);
         if let Some(schema) = build(&spec) {
             let text = ddl::print(&schema);
             let back = ddl::parse(&text);
             prop_assert!(back.is_ok(), "re-parse failed: {back:?}\n{text}");
             prop_assert_eq!(back.unwrap(), schema);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Generated workloads always integrate into valid schemas with a
-    /// complete object map.
-    #[test]
-    fn integration_invariants(seed in 0u64..500, objects in 3usize..10, overlap in 0.0f64..1.0) {
+/// Generated workloads always integrate into valid schemas with a
+/// complete object map.
+#[test]
+fn integration_invariants() {
+    prop::check_cases("integration_invariants", 64, |rng| {
         let pair = sit::datagen::GeneratorConfig {
-            seed,
-            objects_per_schema: objects,
-            overlap,
+            seed: rng.gen_range(0u64..500),
+            objects_per_schema: rng.gen_range(3usize..10),
+            overlap: rng.gen_f64(),
             ..Default::default()
         }
         .generate_pair();
@@ -234,7 +285,8 @@ proptest! {
         }
         // The integrated schema passes ECR validation.
         prop_assert!(sit::ecr::validate(&result.schema).is_empty());
-    }
+        Ok(())
+    });
 }
 
 /// Minimal phase 2+3 drive used by the property test (mirrors
