@@ -44,14 +44,21 @@ pub fn save(session: &Session) -> String {
         // Emit the class as a spanning set of *cross-schema* edges
         // (same-schema declarations are rejected on load): members from
         // other schemas pair with the anchor; members sharing the
-        // anchor's schema pair with the first foreign member.
+        // anchor's schema pair with the first foreign member. A class may
+        // have *no* foreign member — Screen 7 deletes can strip a class
+        // down to attributes of one schema — and such a class cannot be
+        // expressed as loadable `equiv` directives at all, so it is
+        // skipped rather than panicking (it carries no cross-schema
+        // information to reconstruct).
         let anchor = members[0];
         let foreign = members.iter().copied().find(|m| m.schema != anchor.schema);
         for &m in &members[1..] {
             let partner = if m.schema != anchor.schema {
                 anchor
+            } else if let Some(foreign) = foreign {
+                foreign
             } else {
-                foreign.expect("equivalence classes span at least two schemas")
+                continue;
             };
             let _ = writeln!(
                 out,
@@ -251,6 +258,32 @@ mod tests {
         let m2 = s.rel_named("sc2", "Majors").unwrap();
         s.assert_rels(m1, m2, Assertion::Equal).unwrap();
         s
+    }
+
+    #[test]
+    fn save_survives_class_with_no_foreign_member() {
+        // Merge three attributes into one class, then delete the only
+        // sc2 member (a Screen 7 delete): the residue spans just sc1 and
+        // used to panic `save` via its foreign-partner expect. It cannot
+        // be expressed as cross-schema `equiv` directives, so saving
+        // simply skips it and the script stays loadable.
+        let mut s = Session::new();
+        s.add_schema(fixtures::sc1()).unwrap();
+        s.add_schema(fixtures::sc2()).unwrap();
+        s.declare_equivalent_named("sc1", "Student", "Name", "sc2", "Grad_student", "Name")
+            .unwrap();
+        s.declare_equivalent_named("sc1", "Department", "Dname", "sc2", "Grad_student", "Name")
+            .unwrap();
+        let foreign = s
+            .catalog()
+            .attr_named("sc2", "Grad_student", "Name")
+            .unwrap();
+        assert!(s.remove_from_class(foreign));
+        let script = save(&s);
+        let reloaded = load(&script).unwrap();
+        assert_eq!(reloaded.catalog().len(), 2);
+        // The inexpressible residue is dropped, not round-tripped.
+        assert!(reloaded.equivalences().classes().is_empty());
     }
 
     #[test]

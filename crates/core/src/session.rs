@@ -263,6 +263,13 @@ impl Session {
         sb: SchemaId,
         options: &IntegrationOptions,
     ) -> Result<IntegratedSchema> {
+        // Guard hand-built or stale ids before they index the catalog —
+        // a malformed request must come back as an error, not a panic.
+        for sid in [sa, sb] {
+            if self.catalog.try_schema(sid).is_none() {
+                return Err(CoreError::UnknownElement(format!("schema id {sid:?}")));
+            }
+        }
         integrate(
             &self.catalog,
             &self.equiv,
@@ -356,6 +363,18 @@ mod tests {
             s.assert_objects(grad, grad, Assertion::Equal),
             Err(CoreError::SelfAssertion(_))
         ));
+    }
+
+    #[test]
+    fn integrate_rejects_stale_schema_ids() {
+        let mut s = Session::new();
+        s.add_schema(fixtures::sc1()).unwrap();
+        let live = s.catalog().by_name("sc1").unwrap();
+        let stale = sit_ecr::SchemaId::new(99);
+        let err = s.integrate(live, stale, &Default::default()).unwrap_err();
+        assert!(matches!(err, CoreError::UnknownElement(_)), "{err}");
+        let err = s.integrate(stale, live, &Default::default()).unwrap_err();
+        assert!(matches!(err, CoreError::UnknownElement(_)), "{err}");
     }
 
     #[test]

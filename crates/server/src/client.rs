@@ -1,0 +1,70 @@
+//! A thin blocking client for the wire protocol.
+//!
+//! Used by the integration tests, the `sit client` subcommand, and the
+//! `loadgen` bench. One call = one request line out, one response line
+//! in.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::proto::Request;
+use crate::wire::Json;
+
+/// A connected client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Send one raw frame and read the raw response line.
+    pub fn call_raw(&mut self, frame: &str) -> std::io::Result<String> {
+        writeln!(self.writer, "{frame}")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end().to_owned())
+    }
+
+    /// Send a typed request and parse the response.
+    pub fn call(&mut self, request: &Request) -> std::io::Result<Json> {
+        let line = self.call_raw(&request.to_json().encode())?;
+        Json::parse(&line).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad response frame: {e}: {line}"),
+            )
+        })
+    }
+
+    /// [`Client::call`], failing unless the response is `ok:true`.
+    pub fn expect_ok(&mut self, request: &Request) -> std::io::Result<Json> {
+        let response = self.call(request)?;
+        if response.get("ok").and_then(Json::as_bool) == Some(true) {
+            Ok(response)
+        } else {
+            Err(std::io::Error::other(format!(
+                "{} failed: {}",
+                request.op(),
+                response.encode()
+            )))
+        }
+    }
+}

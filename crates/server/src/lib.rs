@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+//! # sit-server — the schema-integration service
+//!
+//! The paper's tool served one designer at one terminal; the ROADMAP's
+//! north star is a shared service many clients query concurrently (the
+//! multidatabase setting of PAPERS.md). This crate puts
+//! [`sit_core::Session`] behind a wire protocol:
+//!
+//! * [`wire`] — a hermetic JSON parser/encoder with depth and size
+//!   limits (the workspace carries no external crates);
+//! * [`proto`] — the request/response vocabulary: 20 verbs covering the
+//!   whole session façade, typed error codes;
+//! * [`store`] — a bounded [`store::SessionStore`] with LRU + TTL
+//!   eviction and per-session locking;
+//! * [`pool`] — a fixed worker pool with a bounded queue; a full queue
+//!   rejects with the `overloaded` error instead of blocking;
+//! * [`metrics`] — per-verb counts, error counts, and min/median/p95
+//!   latency, served by the `stats` verb;
+//! * [`service`] — transport-agnostic dispatch (never panics on
+//!   malformed input);
+//! * [`server`] — TCP (`sit serve`) and stdio (`sit serve --stdio`)
+//!   transports with graceful draining shutdown;
+//! * [`client`] — the thin blocking client used by `sit client`, the
+//!   tests, and the `loadgen` bench.
+//!
+//! ```no_run
+//! use sit_server::server::{Server, ServerConfig};
+//! use sit_server::client::Client;
+//! use sit_server::proto::Request;
+//!
+//! let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let addr = server.local_addr().unwrap();
+//! let handle = server.spawn().unwrap();
+//!
+//! let mut client = Client::connect(addr).unwrap();
+//! let opened = client.expect_ok(&Request::Open).unwrap();
+//! let session = opened.get("session").and_then(|v| v.as_str()).unwrap().to_owned();
+//! client.expect_ok(&Request::AddSchema {
+//!     session,
+//!     ddl: "schema sc1 { entity Student { Name: char key; } }".into(),
+//! }).unwrap();
+//! client.expect_ok(&Request::Shutdown).unwrap();
+//! handle.join().unwrap();
+//! ```
+
+pub mod client;
+pub mod metrics;
+pub mod pool;
+pub mod proto;
+pub mod server;
+pub mod service;
+pub mod store;
+pub mod wire;
+
+pub use client::Client;
+pub use proto::{ErrorCode, Request, ServerError};
+pub use server::{serve_stdio, Server, ServerConfig, ServerHandle};
+pub use service::Service;
+pub use store::{SessionStore, StoreConfig};
+pub use wire::Json;

@@ -1,0 +1,155 @@
+//! Per-verb request metrics: counts, error counts, latency order
+//! statistics.
+//!
+//! Latencies are recorded into a bounded ring per verb (newest sample
+//! overwrites the oldest past [`SAMPLE_CAP`]); min/median/p95 use the
+//! same nearest-rank definition as `sit_bench::harness`, so serving
+//! numbers in `stats` responses and `BENCH_server.json` read on the same
+//! scale as the offline benches.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Per-verb latency samples kept for percentile estimates.
+pub const SAMPLE_CAP: usize = 16_384;
+
+/// Aggregated view of one verb.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct VerbSummary {
+    /// Requests handled (including failures).
+    pub count: u64,
+    /// Requests answered with `ok:false`.
+    pub errors: u64,
+    /// Fastest recorded latency.
+    pub min_ns: u64,
+    /// Nearest-rank median latency.
+    pub median_ns: u64,
+    /// Nearest-rank 95th-percentile latency.
+    pub p95_ns: u64,
+}
+
+#[derive(Default)]
+struct VerbStats {
+    count: u64,
+    errors: u64,
+    samples: Vec<u64>,
+    next_slot: usize,
+}
+
+/// Concurrent metrics registry.
+pub struct Metrics {
+    started: Instant,
+    verbs: Mutex<BTreeMap<&'static str, VerbStats>>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh registry; uptime starts now.
+    pub fn new() -> Metrics {
+        Metrics {
+            started: Instant::now(),
+            verbs: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Record one handled request.
+    pub fn record(&self, op: &'static str, latency_ns: u64, is_error: bool) {
+        let mut verbs = self.verbs.lock().expect("metrics lock");
+        let stats = verbs.entry(op).or_default();
+        stats.count += 1;
+        if is_error {
+            stats.errors += 1;
+        }
+        if stats.samples.len() < SAMPLE_CAP {
+            stats.samples.push(latency_ns);
+        } else {
+            stats.samples[stats.next_slot] = latency_ns;
+            stats.next_slot = (stats.next_slot + 1) % SAMPLE_CAP;
+        }
+    }
+
+    /// Milliseconds since the registry was created.
+    pub fn uptime_ms(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// Summaries per verb, sorted by verb name.
+    pub fn summaries(&self) -> Vec<(&'static str, VerbSummary)> {
+        let verbs = self.verbs.lock().expect("metrics lock");
+        verbs
+            .iter()
+            .map(|(&op, s)| {
+                let mut sorted = s.samples.clone();
+                sorted.sort_unstable();
+                let (min_ns, median_ns, p95_ns) = percentiles(&sorted);
+                (
+                    op,
+                    VerbSummary {
+                        count: s.count,
+                        errors: s.errors,
+                        min_ns,
+                        median_ns,
+                        p95_ns,
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+/// (min, median, p95) of an already-sorted sample set, nearest-rank —
+/// the `sit_bench::harness::Bench` definition.
+pub fn percentiles(sorted_ns: &[u64]) -> (u64, u64, u64) {
+    if sorted_ns.is_empty() {
+        return (0, 0, 0);
+    }
+    let nearest_rank = |q_num: usize, q_den: usize| {
+        let rank = (sorted_ns.len() * q_num).div_ceil(q_den);
+        sorted_ns[rank.max(1) - 1]
+    };
+    (sorted_ns[0], nearest_rank(1, 2), nearest_rank(19, 20))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_counts_and_order_statistics() {
+        let m = Metrics::new();
+        for i in 1..=100u64 {
+            m.record("assert", i * 10, i % 10 == 0);
+        }
+        let all = m.summaries();
+        assert_eq!(all.len(), 1);
+        let (op, s) = &all[0];
+        assert_eq!(*op, "assert");
+        assert_eq!(s.count, 100);
+        assert_eq!(s.errors, 10);
+        assert_eq!(s.min_ns, 10);
+        assert_eq!(s.median_ns, 500);
+        assert_eq!(s.p95_ns, 950);
+    }
+
+    #[test]
+    fn ring_overwrites_past_cap() {
+        let m = Metrics::new();
+        for _ in 0..(SAMPLE_CAP + 5) {
+            m.record("ping", 1, false);
+        }
+        let verbs = m.verbs.lock().unwrap();
+        assert_eq!(verbs["ping"].samples.len(), SAMPLE_CAP);
+        assert_eq!(verbs["ping"].count, (SAMPLE_CAP + 5) as u64);
+    }
+
+    #[test]
+    fn empty_percentiles_are_zero() {
+        assert_eq!(percentiles(&[]), (0, 0, 0));
+    }
+}

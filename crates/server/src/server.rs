@@ -1,0 +1,288 @@
+//! The serving layer: newline-delimited JSON over TCP and stdio.
+//!
+//! ## TCP ([`Server`])
+//!
+//! One acceptor thread owns the listener. Each connection gets a cheap
+//! blocking reader thread; *execution* happens on the shared bounded
+//! [`ThreadPool`] — a connection submits the frame plus a reply channel
+//! and waits, so responses stay in request order per connection while
+//! different connections run in parallel. When the pool queue is full
+//! the submit is rejected without blocking and the connection is
+//! answered with the typed `overloaded` error immediately.
+//!
+//! Graceful shutdown (wire verb `shutdown`, or
+//! [`Service::begin_shutdown`] from a ctrl channel) drains: the acceptor
+//! stops, queued and in-flight requests complete and their responses are
+//! written, then client sockets are read-shutdown to unblock readers and
+//! every thread is joined.
+//!
+//! ## stdio ([`serve_stdio`])
+//!
+//! The same protocol, one request per line on stdin, one response per
+//! line on stdout — single-threaded, for pipes and tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::pool::ThreadPool;
+use crate::proto::ServerError;
+use crate::service::Service;
+use crate::store::StoreConfig;
+
+/// Serving limits.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads executing requests.
+    pub threads: usize,
+    /// Bounded queue depth; submissions beyond it get `overloaded`.
+    pub queue_cap: usize,
+    /// Session-store limits.
+    pub store: StoreConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 4,
+            queue_cap: 128,
+            store: StoreConfig::default(),
+        }
+    }
+}
+
+/// A bound (not yet running) TCP server.
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<Service>,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Bind to `addr` (use port 0 for an ephemeral port) and prepare the
+    /// service. The returned server is not accepting yet — call
+    /// [`Server::run`] or [`Server::spawn`].
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let service = Arc::new(Service::new(config.store));
+        // The shutdown hook unblocks the acceptor with a throwaway
+        // connection to our own port.
+        let local = listener.local_addr()?;
+        service.set_shutdown_hook(Box::new(move || {
+            let _ = TcpStream::connect(local);
+        }));
+        Ok(Server {
+            listener,
+            service,
+            config,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared service (for ctrl-channel shutdown and stats).
+    pub fn service(&self) -> Arc<Service> {
+        Arc::clone(&self.service)
+    }
+
+    /// Accept and serve until shutdown, then drain and return.
+    pub fn run(self) -> std::io::Result<()> {
+        let Server {
+            listener,
+            service,
+            config,
+        } = self;
+        let pool = Arc::new(ThreadPool::new(config.threads, config.queue_cap));
+        let open_streams: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+
+        for stream in listener.incoming() {
+            if service.is_draining() {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            // One small response frame per request: waiting for more
+            // data to coalesce (Nagle + delayed ACK) would add ~40ms to
+            // every round trip, so flush segments immediately.
+            let _ = stream.set_nodelay(true);
+            if let Ok(clone) = stream.try_clone() {
+                open_streams.lock().expect("streams lock").push(clone);
+            }
+            let service = Arc::clone(&service);
+            let pool = Arc::clone(&pool);
+            let handle = std::thread::Builder::new()
+                .name("sit-conn".into())
+                .spawn(move || connection_loop(stream, &service, &pool))
+                .expect("spawn connection thread");
+            conn_threads.push(handle);
+        }
+
+        // Drain: finish queued + in-flight work (responses are written by
+        // the connection threads as results arrive)...
+        pool.shutdown();
+        // ...then unblock any reader still waiting for a next request.
+        for stream in open_streams.lock().expect("streams lock").iter() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        for handle in conn_threads {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+
+    /// Run on a background thread; returns a handle with the address and
+    /// service.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let service = self.service();
+        let thread = std::thread::Builder::new()
+            .name("sit-serve".into())
+            .spawn(move || self.run())?;
+        Ok(ServerHandle {
+            addr,
+            service,
+            thread,
+        })
+    }
+}
+
+/// A running background server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    service: Arc<Service>,
+    thread: JoinHandle<std::io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// Address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service (stats, ctrl-channel shutdown).
+    pub fn service(&self) -> Arc<Service> {
+        Arc::clone(&self.service)
+    }
+
+    /// Trigger a graceful shutdown and wait for the drain to finish.
+    pub fn shutdown(self) -> std::io::Result<()> {
+        self.service.begin_shutdown();
+        self.thread.join().unwrap_or(Ok(()))
+    }
+
+    /// Wait for the server to stop on its own (e.g. a wire `shutdown`).
+    pub fn join(self) -> std::io::Result<()> {
+        self.thread.join().unwrap_or(Ok(()))
+    }
+}
+
+fn connection_loop(stream: TcpStream, service: &Arc<Service>, pool: &Arc<ThreadPool>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // disconnect (or drain unblocked us)
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (tx, rx) = mpsc::channel();
+        let job_service = Arc::clone(service);
+        let frame = std::mem::take(&mut line);
+        let submitted = pool.submit(Box::new(move || {
+            let _ = tx.send(job_service.handle_line(&frame));
+        }));
+        let response = match submitted {
+            Ok(()) => match rx.recv() {
+                Ok(handled) => handled.frame,
+                Err(_) => return, // worker vanished mid-drain
+            },
+            Err(_) if service.is_draining() => ServerError::shutting_down().to_response().encode(),
+            Err(_) => ServerError::overloaded().to_response().encode(),
+        };
+        if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Serve the protocol over arbitrary reader/writer pairs (stdin/stdout in
+/// `sit serve --stdio`). Returns after EOF or a `shutdown` request.
+pub fn serve_stdio(
+    service: &Service,
+    reader: impl BufRead,
+    mut writer: impl Write,
+) -> std::io::Result<()> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let handled = service.handle_line(&line);
+        writeln!(writer, "{}", handled.frame)?;
+        writer.flush()?;
+        if handled.shutdown {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::Json;
+
+    #[test]
+    fn stdio_round_trip_and_shutdown() {
+        let service = Service::new(StoreConfig::default());
+        let input = b"{\"op\":\"ping\"}\n{\"op\":\"open\"}\n{\"op\":\"shutdown\"}\n{\"op\":\"ping\"}\n".to_vec();
+        let mut out = Vec::new();
+        serve_stdio(&service, &input[..], &mut out).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().trim().lines().collect();
+        // The trailing ping after shutdown is never answered.
+        assert_eq!(lines.len(), 3);
+        for l in &lines {
+            let v = Json::parse(l).unwrap();
+            assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{l}");
+        }
+    }
+
+    #[test]
+    fn tcp_serves_and_drains_on_wire_shutdown() {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.spawn().unwrap();
+
+        let mut client = crate::client::Client::connect(addr).unwrap();
+        let pong = client.call_raw("{\"op\":\"ping\"}").unwrap();
+        assert!(pong.contains("\"pong\":true"), "{pong}");
+        let opened = client.call_raw("{\"op\":\"open\"}").unwrap();
+        assert!(opened.contains("\"session\""), "{opened}");
+        let bye = client.call_raw("{\"op\":\"shutdown\"}").unwrap();
+        assert!(bye.contains("\"draining\":true"), "{bye}");
+
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_ctrl_channel_shutdown_drains() {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.spawn().unwrap();
+        let mut client = crate::client::Client::connect(addr).unwrap();
+        assert!(client.call_raw("{\"op\":\"ping\"}").unwrap().contains("pong"));
+        handle.shutdown().unwrap();
+    }
+}

@@ -1,0 +1,617 @@
+//! Request dispatch: one [`Service`] turns request frames into response
+//! frames against a shared [`SessionStore`].
+//!
+//! The service is transport-agnostic — the TCP server, the stdio server,
+//! and the in-process tests all call [`Service::handle_line`]. It never
+//! panics on malformed input: bad JSON, bad requests, unknown sessions,
+//! engine conflicts, and drain-mode rejections all come back as typed
+//! error frames.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use sit_core::integrate::IntegrationOptions;
+use sit_core::script;
+use sit_core::session::Session;
+use sit_ecr::render;
+
+use crate::metrics::Metrics;
+use crate::proto::{ok_response, Request, ServerError};
+use crate::store::{SessionStore, StoreConfig};
+use crate::wire::Json;
+
+/// A handled frame: the response line plus whether the request asked the
+/// server to shut down.
+pub struct Handled {
+    /// The encoded response (no trailing newline).
+    pub frame: String,
+    /// `true` exactly for a successful `shutdown` request.
+    pub shutdown: bool,
+}
+
+/// Shared per-server state behind every worker.
+pub struct Service {
+    store: SessionStore,
+    metrics: Metrics,
+    draining: AtomicBool,
+    shutdown_hook: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
+}
+
+impl Service {
+    /// Service over a fresh store.
+    pub fn new(store_config: StoreConfig) -> Service {
+        Service {
+            store: SessionStore::new(store_config),
+            metrics: Metrics::new(),
+            draining: AtomicBool::new(false),
+            shutdown_hook: Mutex::new(None),
+        }
+    }
+
+    /// Register a callback fired once when a `shutdown` request is
+    /// accepted (the TCP server uses it to unblock its accept loop).
+    pub fn set_shutdown_hook(&self, hook: Box<dyn Fn() + Send + Sync>) {
+        *self.shutdown_hook.lock().expect("hook lock") = Some(hook);
+    }
+
+    /// Has a shutdown been requested?
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Trigger drain mode directly (ctrl-channel shutdown, as opposed to
+    /// the wire verb).
+    pub fn begin_shutdown(&self) {
+        if !self.draining.swap(true, Ordering::SeqCst) {
+            if let Some(hook) = self.shutdown_hook.lock().expect("hook lock").as_ref() {
+                hook();
+            }
+        }
+    }
+
+    /// The session store (tests/diagnostics).
+    pub fn store(&self) -> &SessionStore {
+        &self.store
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Handle one request line; always produces exactly one response
+    /// frame.
+    pub fn handle_line(&self, line: &str) -> Handled {
+        let started = Instant::now();
+        let trimmed = line.trim();
+        let parsed = Json::parse(trimmed);
+        let value = match parsed {
+            Err(e) => {
+                let err = ServerError {
+                    code: crate::proto::ErrorCode::Parse,
+                    message: e.to_string(),
+                };
+                return self.finish("_parse", started, Err(err), false);
+            }
+            Ok(v) => v,
+        };
+        let request = match Request::from_json(&value) {
+            Err(e) => return self.finish("_invalid", started, Err(e), false),
+            Ok(r) => r,
+        };
+        let op = request.op();
+        if self.is_draining() && !matches!(request, Request::Stats | Request::Ping) {
+            return self.finish(op, started, Err(ServerError::shutting_down()), false);
+        }
+        let shutdown = matches!(request, Request::Shutdown);
+        let result = self.dispatch(request);
+        let shutdown = shutdown && result.is_ok();
+        if shutdown {
+            self.begin_shutdown();
+        }
+        self.finish(op, started, result, shutdown)
+    }
+
+    fn finish(
+        &self,
+        op: &'static str,
+        started: Instant,
+        result: Result<Json, ServerError>,
+        shutdown: bool,
+    ) -> Handled {
+        let latency = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.metrics.record(op, latency, result.is_err());
+        let frame = match result {
+            Ok(v) => v.encode(),
+            Err(e) => e.to_response().encode(),
+        };
+        Handled { frame, shutdown }
+    }
+
+    fn dispatch(&self, request: Request) -> Result<Json, ServerError> {
+        match request {
+            Request::Ping => Ok(ok_response(vec![("pong", Json::Bool(true))])),
+            Request::Open => {
+                let id = self.store.open(Session::new());
+                Ok(ok_response(vec![("session", Json::str(id))]))
+            }
+            Request::Close { session } => {
+                let closed = self.store.close(&session);
+                Ok(ok_response(vec![("closed", Json::Bool(closed))]))
+            }
+            Request::Load { script } => {
+                let session = script::load(&script)?;
+                let schemas: Vec<Json> = session
+                    .catalog()
+                    .schemas()
+                    .map(|(_, sch)| Json::str(sch.name()))
+                    .collect();
+                let id = self.store.open(session);
+                Ok(ok_response(vec![
+                    ("session", Json::str(id)),
+                    ("schemas", Json::Arr(schemas)),
+                ]))
+            }
+            Request::Save { session } => self.with_session(&session, |s| {
+                Ok(ok_response(vec![("script", Json::str(script::save(s)))]))
+            }),
+            Request::AddSchema { session, ddl } => self.with_session(&session, |s| {
+                let schemas = sit_ecr::ddl::parse_many(&ddl)
+                    .map_err(|e| ServerError::bad_request(format!("DDL error: {e}")))?;
+                if schemas.is_empty() {
+                    return Err(ServerError::bad_request("no `schema` blocks in ddl"));
+                }
+                let mut names = Vec::new();
+                for schema in schemas {
+                    let name = schema.name().to_owned();
+                    s.add_schema(schema)?;
+                    names.push(Json::Str(name));
+                }
+                Ok(ok_response(vec![("schemas", Json::Arr(names))]))
+            }),
+            Request::ListSchemas { session } => self.with_session(&session, |s| {
+                let schemas: Vec<Json> = s
+                    .catalog()
+                    .schemas()
+                    .map(|(_, sch)| {
+                        Json::obj(vec![
+                            ("name", Json::str(sch.name())),
+                            ("objects", Json::num(sch.object_count() as u64)),
+                            ("relationships", Json::num(sch.relationship_count() as u64)),
+                        ])
+                    })
+                    .collect();
+                Ok(ok_response(vec![("schemas", Json::Arr(schemas))]))
+            }),
+            Request::Render { session, schema } => self.with_session(&session, |s| {
+                let sid = schema_id(s, &schema)?;
+                let text = render::render(s.catalog().schema(sid));
+                Ok(ok_response(vec![("text", Json::str(text))]))
+            }),
+            Request::Equiv { session, a, b } => self.with_session(&session, |s| {
+                let (sa, oa, aa) = attr_path(&a)?;
+                let (sb, ob, ab) = attr_path(&b)?;
+                s.declare_equivalent_named(sa, oa, aa, sb, ob, ab)?;
+                let classes = s.equivalences().classes().len();
+                Ok(ok_response(vec![("classes", Json::num(classes as u64))]))
+            }),
+            Request::Unequiv { session, a } => self.with_session(&session, |s| {
+                let (sa, oa, aa) = attr_path(&a)?;
+                let attr = s.catalog().attr_named(sa, oa, aa)?;
+                let removed = s.remove_from_class(attr);
+                Ok(ok_response(vec![("removed", Json::Bool(removed))]))
+            }),
+            Request::Candidates { session, a, b } => self.with_session(&session, |s| {
+                let (sa, sb) = (schema_id(s, &a)?, schema_id(s, &b)?);
+                let pairs: Vec<Json> = s
+                    .candidates(sa, sb)
+                    .into_iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("left", Json::str(s.catalog().obj_display(p.left))),
+                            ("right", Json::str(s.catalog().obj_display(p.right))),
+                            ("equivalent", Json::num(p.equivalent as u64)),
+                            ("ratio", Json::Num(p.ratio)),
+                        ])
+                    })
+                    .collect();
+                Ok(ok_response(vec![("pairs", Json::Arr(pairs))]))
+            }),
+            Request::RelCandidates { session, a, b } => self.with_session(&session, |s| {
+                let (sa, sb) = (schema_id(s, &a)?, schema_id(s, &b)?);
+                let pairs: Vec<Json> = s
+                    .rel_candidates(sa, sb)
+                    .into_iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("left", Json::str(s.catalog().rel_display(p.left))),
+                            ("right", Json::str(s.catalog().rel_display(p.right))),
+                            ("equivalent", Json::num(p.equivalent as u64)),
+                            ("ratio", Json::Num(p.ratio)),
+                        ])
+                    })
+                    .collect();
+                Ok(ok_response(vec![("pairs", Json::Arr(pairs))]))
+            }),
+            Request::Assert {
+                session,
+                a,
+                b,
+                assertion,
+            } => self.with_session(&session, |s| {
+                let ga = object_path(s, &a)?;
+                let gb = object_path(s, &b)?;
+                let derived = s.assert_objects(ga, gb, assertion)?;
+                let derived: Vec<Json> = derived
+                    .iter()
+                    .map(|d| {
+                        Json::obj(vec![
+                            ("a", Json::str(s.catalog().obj_display(d.a))),
+                            ("rel", Json::str(d.rel.to_string())),
+                            ("b", Json::str(s.catalog().obj_display(d.b))),
+                        ])
+                    })
+                    .collect();
+                Ok(ok_response(vec![("derived", Json::Arr(derived))]))
+            }),
+            Request::RelAssert {
+                session,
+                a,
+                b,
+                assertion,
+            } => self.with_session(&session, |s| {
+                let ga = rel_path(s, &a)?;
+                let gb = rel_path(s, &b)?;
+                let derived = s.assert_rels(ga, gb, assertion)?;
+                let derived: Vec<Json> = derived
+                    .iter()
+                    .map(|d| {
+                        Json::obj(vec![
+                            ("a", Json::str(s.catalog().rel_display(d.a))),
+                            ("rel", Json::str(d.rel.to_string())),
+                            ("b", Json::str(s.catalog().rel_display(d.b))),
+                        ])
+                    })
+                    .collect();
+                Ok(ok_response(vec![("derived", Json::Arr(derived))]))
+            }),
+            Request::Retract { session, a, b } => self.with_session(&session, |s| {
+                let ga = object_path(s, &a)?;
+                let gb = object_path(s, &b)?;
+                let retracted = s.retract_objects(ga, gb);
+                Ok(ok_response(vec![("retracted", Json::Bool(retracted))]))
+            }),
+            Request::RelRetract { session, a, b } => self.with_session(&session, |s| {
+                let ga = rel_path(s, &a)?;
+                let gb = rel_path(s, &b)?;
+                let retracted = s.retract_rels(ga, gb);
+                Ok(ok_response(vec![("retracted", Json::Bool(retracted))]))
+            }),
+            Request::Matrix { session, a, b } => self.with_session(&session, |s| {
+                let (sa, sb) = (schema_id(s, &a)?, schema_id(s, &b)?);
+                let rows: Vec<Json> = s
+                    .catalog()
+                    .objects_of(sa)
+                    .map(|o| Json::str(s.catalog().obj_display(o)))
+                    .collect();
+                let cols: Vec<Json> = s
+                    .catalog()
+                    .objects_of(sb)
+                    .map(|o| Json::str(s.catalog().obj_display(o)))
+                    .collect();
+                let cells: Vec<Json> = s
+                    .assertion_matrix(sa, sb)
+                    .into_iter()
+                    .map(|row| {
+                        Json::Arr(
+                            row.into_iter()
+                                .map(|cell| match cell {
+                                    Some(a) => Json::str(script::keyword(a)),
+                                    None => Json::Null,
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect();
+                Ok(ok_response(vec![
+                    ("rows", Json::Arr(rows)),
+                    ("cols", Json::Arr(cols)),
+                    ("cells", Json::Arr(cells)),
+                ]))
+            }),
+            Request::Integrate {
+                session,
+                a,
+                b,
+                pull_up,
+                mappings,
+            } => self.with_session(&session, |s| {
+                let (sa, sb) = (schema_id(s, &a)?, schema_id(s, &b)?);
+                let options = IntegrationOptions {
+                    pull_up_common_attrs: pull_up,
+                    ..Default::default()
+                };
+                let mut pairs: Vec<(&str, Json)> = Vec::new();
+                if mappings {
+                    let (integrated, maps) = s.integrate_with_mappings(sa, sb, &options)?;
+                    pairs.push(("schema", Json::str(render::render(&integrated.schema))));
+                    pairs.push(("objects", Json::num(integrated.schema.object_count() as u64)));
+                    pairs.push((
+                        "relationships",
+                        Json::num(integrated.schema.relationship_count() as u64),
+                    ));
+                    pairs.push(("mappings", Json::str(maps.describe())));
+                } else {
+                    let integrated = s.integrate(sa, sb, &options)?;
+                    pairs.push(("schema", Json::str(render::render(&integrated.schema))));
+                    pairs.push(("objects", Json::num(integrated.schema.object_count() as u64)));
+                    pairs.push((
+                        "relationships",
+                        Json::num(integrated.schema.relationship_count() as u64),
+                    ));
+                }
+                Ok(ok_response(pairs))
+            }),
+            Request::Stats => {
+                let (lru, ttl) = self.store.evictions();
+                let verbs: Vec<(String, Json)> = self
+                    .metrics
+                    .summaries()
+                    .into_iter()
+                    .map(|(op, s)| {
+                        (
+                            op.to_owned(),
+                            Json::obj(vec![
+                                ("count", Json::num(s.count)),
+                                ("errors", Json::num(s.errors)),
+                                ("min_ns", Json::num(s.min_ns)),
+                                ("median_ns", Json::num(s.median_ns)),
+                                ("p95_ns", Json::num(s.p95_ns)),
+                            ]),
+                        )
+                    })
+                    .collect();
+                Ok(ok_response(vec![
+                    ("uptime_ms", Json::num(self.metrics.uptime_ms())),
+                    ("sessions", Json::num(self.store.len() as u64)),
+                    ("evicted_lru", Json::num(lru)),
+                    ("evicted_ttl", Json::num(ttl)),
+                    ("verbs", Json::Obj(verbs)),
+                ]))
+            }
+            Request::Shutdown => Ok(ok_response(vec![("draining", Json::Bool(true))])),
+        }
+    }
+
+    fn with_session<F>(&self, id: &str, f: F) -> Result<Json, ServerError>
+    where
+        F: FnOnce(&mut Session) -> Result<Json, ServerError>,
+    {
+        let handle = self
+            .store
+            .get(id)
+            .ok_or_else(|| ServerError::unknown_session(id))?;
+        let mut session = handle.lock().expect("session lock");
+        f(&mut session)
+    }
+}
+
+fn schema_id(s: &Session, name: &str) -> Result<sit_ecr::SchemaId, ServerError> {
+    s.catalog()
+        .by_name(name)
+        .ok_or_else(|| ServerError::bad_request(format!("unknown schema `{name}`")))
+}
+
+fn attr_path(path: &str) -> Result<(&str, &str, &str), ServerError> {
+    let mut it = path.split('.');
+    match (it.next(), it.next(), it.next(), it.next()) {
+        (Some(s), Some(o), Some(a), None) if !s.is_empty() && !o.is_empty() && !a.is_empty() => {
+            Ok((s, o, a))
+        }
+        _ => Err(ServerError::bad_request(format!(
+            "attribute paths are `schema.Owner.attr`: `{path}`"
+        ))),
+    }
+}
+
+fn object_path(s: &Session, path: &str) -> Result<sit_core::catalog::GObj, ServerError> {
+    let (schema, object) = path
+        .split_once('.')
+        .ok_or_else(|| ServerError::bad_request(format!("object paths are `schema.Object`: `{path}`")))?;
+    Ok(s.object_named(schema, object)?)
+}
+
+fn rel_path(s: &Session, path: &str) -> Result<sit_core::catalog::GRel, ServerError> {
+    let (schema, rel) = path
+        .split_once('.')
+        .ok_or_else(|| ServerError::bad_request(format!("relationship paths are `schema.Rel`: `{path}`")))?;
+    Ok(s.rel_named(schema, rel)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::ErrorCode;
+
+    fn call(service: &Service, line: &str) -> Json {
+        Json::parse(&service.handle_line(line).frame).expect("response is valid json")
+    }
+
+    fn ok(v: &Json) -> bool {
+        v.get("ok").and_then(Json::as_bool) == Some(true)
+    }
+
+    fn err_code(v: &Json) -> Option<String> {
+        v.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+    }
+
+    const SC1: &str = r#"
+    schema sc1 {
+      entity Student { Name: char key; GPA: real; }
+      entity Department { Dname: char key; }
+      relationship Majors { Student (0,1); Department (0,n); }
+    }
+    "#;
+    const SC2: &str = r#"
+    schema sc2 {
+      entity Grad_student { Name: char key; GPA: real; }
+      entity Department { Dname: char key; }
+      relationship Majors { Grad_student (0,1); Department (0,n); }
+    }
+    "#;
+
+    #[test]
+    fn full_session_over_frames() {
+        let service = Service::new(StoreConfig::default());
+        let opened = call(&service, r#"{"op":"open"}"#);
+        assert!(ok(&opened));
+        let sid = opened.get("session").and_then(Json::as_str).unwrap().to_owned();
+
+        let add = |ddl: &str| {
+            let frame = Request::AddSchema {
+                session: sid.clone(),
+                ddl: ddl.into(),
+            }
+            .to_json()
+            .encode();
+            call(&service, &frame)
+        };
+        assert!(ok(&add(SC1)), "{:?}", add(SC1));
+        assert!(ok(&add(SC2)));
+
+        let eq = Request::Equiv {
+            session: sid.clone(),
+            a: "sc1.Student.Name".into(),
+            b: "sc2.Grad_student.Name".into(),
+        };
+        assert!(ok(&call(&service, &eq.to_json().encode())));
+
+        let cands = call(
+            &service,
+            &Request::Candidates {
+                session: sid.clone(),
+                a: "sc1".into(),
+                b: "sc2".into(),
+            }
+            .to_json()
+            .encode(),
+        );
+        assert!(ok(&cands));
+        let pairs = cands.get("pairs").and_then(Json::as_arr).unwrap();
+        assert!(!pairs.is_empty());
+
+        let assert_req = Request::Assert {
+            session: sid.clone(),
+            a: "sc1.Department".into(),
+            b: "sc2.Department".into(),
+            assertion: sit_core::assertion::Assertion::Equal,
+        };
+        assert!(ok(&call(&service, &assert_req.to_json().encode())));
+
+        let contains = Request::Assert {
+            session: sid.clone(),
+            a: "sc1.Student".into(),
+            b: "sc2.Grad_student".into(),
+            assertion: sit_core::assertion::Assertion::Contains,
+        };
+        assert!(ok(&call(&service, &contains.to_json().encode())));
+
+        let integ = call(
+            &service,
+            &Request::Integrate {
+                session: sid.clone(),
+                a: "sc1".into(),
+                b: "sc2".into(),
+                pull_up: false,
+                mappings: true,
+            }
+            .to_json()
+            .encode(),
+        );
+        assert!(ok(&integ), "{integ:?}");
+        assert!(integ
+            .get("schema")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("Department"));
+        assert!(integ.get("mappings").is_some());
+
+        let stats = call(&service, r#"{"op":"stats"}"#);
+        assert!(ok(&stats));
+        assert!(stats.get("verbs").and_then(|v| v.get("assert")).is_some());
+    }
+
+    #[test]
+    fn errors_are_typed_not_panics() {
+        let service = Service::new(StoreConfig::default());
+        // Parse error.
+        let r = call(&service, "{nope");
+        assert_eq!(err_code(&r).as_deref(), Some("parse"));
+        // Invalid request.
+        let r = call(&service, r#"{"op":"warp"}"#);
+        assert_eq!(err_code(&r).as_deref(), Some("bad_request"));
+        // Unknown session.
+        let r = call(&service, r#"{"op":"save","session":"99"}"#);
+        assert_eq!(err_code(&r).as_deref(), Some("unknown_session"));
+        // Bad DDL inside a live session.
+        let opened = call(&service, r#"{"op":"open"}"#);
+        let sid = opened.get("session").and_then(Json::as_str).unwrap();
+        let r = call(
+            &service,
+            &format!(r#"{{"op":"add_schema","session":"{sid}","ddl":"schema x {{ nonsense"}}"#),
+        );
+        assert_eq!(err_code(&r).as_deref(), Some("bad_request"));
+    }
+
+    #[test]
+    fn conflict_is_reported_with_its_code() {
+        let service = Service::new(StoreConfig::default());
+        let opened = call(&service, r#"{"op":"open"}"#);
+        let sid = opened.get("session").and_then(Json::as_str).unwrap().to_owned();
+        let load = |ddl: &str| {
+            let frame = Request::AddSchema {
+                session: sid.clone(),
+                ddl: ddl.into(),
+            }
+            .to_json()
+            .encode();
+            call(&service, &frame)
+        };
+        assert!(ok(&load(SC1)));
+        assert!(ok(&load(SC2)));
+        let eq = |a: &str, b: &str, kw: &str| {
+            call(
+                &service,
+                &format!(
+                    r#"{{"op":"assert","session":"{sid}","a":"{a}","b":"{b}","assertion":"{kw}"}}"#
+                ),
+            )
+        };
+        assert!(ok(&eq("sc1.Student", "sc2.Grad_student", "contains")));
+        let conflict = eq("sc1.Student", "sc2.Grad_student", "disjoint-non-integrable");
+        assert_eq!(err_code(&conflict).as_deref(), Some("conflict"));
+    }
+
+    #[test]
+    fn shutdown_verb_drains() {
+        let service = Service::new(StoreConfig::default());
+        let r = call(&service, r#"{"op":"shutdown"}"#);
+        assert!(ok(&r));
+        assert!(service.is_draining());
+        // Further mutating requests are rejected...
+        let r = call(&service, r#"{"op":"open"}"#);
+        assert_eq!(err_code(&r).as_deref(), Some("shutting_down"));
+        // ...but stats/ping still answer (drain observability).
+        assert!(ok(&call(&service, r#"{"op":"ping"}"#)));
+        assert!(ok(&call(&service, r#"{"op":"stats"}"#)));
+    }
+
+    #[test]
+    fn error_codes_enum_matches_wire() {
+        assert_eq!(ErrorCode::Overloaded.as_str(), "overloaded");
+    }
+}

@@ -1,0 +1,214 @@
+//! The session store: many concurrent integration sessions, bounded.
+//!
+//! Sessions are keyed by a server-assigned numeric id. The store holds at
+//! most [`StoreConfig::max_sessions`] entries; opening one more evicts the
+//! least-recently-used session. Entries idle longer than
+//! [`StoreConfig::ttl`] are expired lazily (on any store operation that
+//! takes the registry lock).
+//!
+//! Locking is two-level so sessions do not serialize each other: the
+//! registry mutex guards only id→entry bookkeeping (lookup, LRU stamps,
+//! eviction), while each session lives behind its own `Arc<Mutex<_>>` —
+//! two requests to *different* sessions run fully in parallel on the
+//! worker pool, and an eviction never blocks on a long-running request
+//! (the in-flight request keeps its `Arc` and completes against the
+//! now-anonymous session).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use sit_core::session::Session;
+
+/// Store limits.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// Maximum live sessions; opening beyond this evicts the LRU entry.
+    pub max_sessions: usize,
+    /// Idle time after which a session may be expired; `None` disables
+    /// TTL eviction.
+    pub ttl: Option<Duration>,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            max_sessions: 64,
+            ttl: Some(Duration::from_secs(600)),
+        }
+    }
+}
+
+/// Shared handle to one session.
+pub type SharedSession = Arc<Mutex<Session>>;
+
+struct Entry {
+    session: SharedSession,
+    last_used: Instant,
+}
+
+struct Registry {
+    next_id: u64,
+    entries: HashMap<u64, Entry>,
+    evicted_lru: u64,
+    evicted_ttl: u64,
+}
+
+/// Bounded, concurrently shared collection of sessions.
+pub struct SessionStore {
+    config: StoreConfig,
+    registry: Mutex<Registry>,
+}
+
+impl SessionStore {
+    /// Empty store with the given limits.
+    pub fn new(config: StoreConfig) -> SessionStore {
+        SessionStore {
+            config,
+            registry: Mutex::new(Registry {
+                next_id: 1,
+                entries: HashMap::new(),
+                evicted_lru: 0,
+                evicted_ttl: 0,
+            }),
+        }
+    }
+
+    /// Insert a session and return its assigned id.
+    pub fn open(&self, session: Session) -> String {
+        let mut reg = self.registry.lock().expect("store lock");
+        self.expire(&mut reg);
+        while reg.entries.len() >= self.config.max_sessions.max(1) {
+            // Evict the least-recently-used entry to make room.
+            if let Some((&victim, _)) = reg
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+            {
+                reg.entries.remove(&victim);
+                reg.evicted_lru += 1;
+            } else {
+                break;
+            }
+        }
+        let id = reg.next_id;
+        reg.next_id += 1;
+        reg.entries.insert(
+            id,
+            Entry {
+                session: Arc::new(Mutex::new(session)),
+                last_used: Instant::now(),
+            },
+        );
+        id.to_string()
+    }
+
+    /// Fetch a session handle by id, refreshing its LRU stamp. `None` if
+    /// the id is unknown, closed, expired, or evicted.
+    pub fn get(&self, id: &str) -> Option<SharedSession> {
+        let key: u64 = id.parse().ok()?;
+        let mut reg = self.registry.lock().expect("store lock");
+        self.expire(&mut reg);
+        let entry = reg.entries.get_mut(&key)?;
+        entry.last_used = Instant::now();
+        Some(Arc::clone(&entry.session))
+    }
+
+    /// Remove a session; `true` if it was live.
+    pub fn close(&self, id: &str) -> bool {
+        let Ok(key) = id.parse::<u64>() else {
+            return false;
+        };
+        let mut reg = self.registry.lock().expect("store lock");
+        self.expire(&mut reg);
+        reg.entries.remove(&key).is_some()
+    }
+
+    /// Live session count.
+    pub fn len(&self) -> usize {
+        let mut reg = self.registry.lock().expect("store lock");
+        self.expire(&mut reg);
+        reg.entries.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// (LRU, TTL) eviction counts so far.
+    pub fn evictions(&self) -> (u64, u64) {
+        let reg = self.registry.lock().expect("store lock");
+        (reg.evicted_lru, reg.evicted_ttl)
+    }
+
+    fn expire(&self, reg: &mut Registry) {
+        let Some(ttl) = self.config.ttl else { return };
+        let now = Instant::now();
+        let before = reg.entries.len();
+        reg.entries
+            .retain(|_, e| now.duration_since(e.last_used) < ttl);
+        reg.evicted_ttl += (before - reg.entries.len()) as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(max: usize, ttl: Option<Duration>) -> SessionStore {
+        SessionStore::new(StoreConfig {
+            max_sessions: max,
+            ttl,
+        })
+    }
+
+    #[test]
+    fn open_get_close_round_trip() {
+        let s = store(4, None);
+        let id = s.open(Session::new());
+        assert_eq!(id, "1");
+        assert!(s.get(&id).is_some());
+        assert!(s.close(&id));
+        assert!(s.get(&id).is_none());
+        assert!(!s.close(&id));
+        assert!(s.get("not-a-number").is_none());
+    }
+
+    #[test]
+    fn lru_eviction_at_cap() {
+        let s = store(2, None);
+        let a = s.open(Session::new());
+        let b = s.open(Session::new());
+        // Touch `a` so `b` becomes the LRU victim.
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(s.get(&a).is_some());
+        let c = s.open(Session::new());
+        assert_eq!(s.len(), 2);
+        assert!(s.get(&a).is_some(), "recently used survives");
+        assert!(s.get(&b).is_none(), "LRU evicted");
+        assert!(s.get(&c).is_some());
+        assert_eq!(s.evictions().0, 1);
+    }
+
+    #[test]
+    fn ttl_expiry_is_lazy_but_effective() {
+        let s = store(8, Some(Duration::from_millis(5)));
+        let id = s.open(Session::new());
+        assert!(s.get(&id).is_some());
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(s.get(&id).is_none(), "expired after idle ttl");
+        assert_eq!(s.evictions().1, 1);
+    }
+
+    #[test]
+    fn in_flight_handle_survives_eviction() {
+        let s = store(1, None);
+        let a = s.open(Session::new());
+        let handle = s.get(&a).unwrap();
+        let _b = s.open(Session::new()); // evicts `a`
+        assert!(s.get(&a).is_none());
+        // The held Arc still works; the request in flight completes.
+        handle.lock().unwrap().catalog();
+    }
+}

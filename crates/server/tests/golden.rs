@@ -1,0 +1,105 @@
+//! Golden request/response fixtures for every protocol verb.
+//!
+//! The transcript below drives one service through all 20 verbs
+//! ([`sit_server::proto::VERBS`]) with byte-exact expected responses
+//! (the `stats` response carries wall-clock fields and is checked
+//! structurally instead). If a protocol change alters any frame, this
+//! test names the verb and shows both lines — update deliberately.
+
+use sit_server::service::Service;
+use sit_server::store::StoreConfig;
+use sit_server::wire::Json;
+
+const DDL1: &str = "schema sc1 { entity Student { Name: char key; GPA: real; } entity Department { Dname: char key; } relationship Majors { Student (0,1); Department (0,n); } }";
+const DDL2: &str = "schema sc2 { entity Grad_student { Name: char key; GPA: real; } entity Department { Dname: char key; } relationship Majors { Grad_student (0,1); Department (0,n); } }";
+
+/// `(verb, request frame, expected response frame)`; `@stats` marks the
+/// structurally-checked response.
+const TRANSCRIPT: &[(&str, &str, &str)] = &[
+    ("ping", r#"{"op":"ping"}"#, r#"{"ok":true,"pong":true}"#),
+    ("open", r#"{"op":"open"}"#, r#"{"ok":true,"session":"1"}"#),
+    ("add_schema", r#"{"op":"add_schema","session":"1","ddl":"%DDL1%"}"#, r#"{"ok":true,"schemas":["sc1"]}"#),
+    ("add_schema", r#"{"op":"add_schema","session":"1","ddl":"%DDL2%"}"#, r#"{"ok":true,"schemas":["sc2"]}"#),
+    ("list_schemas", r#"{"op":"list_schemas","session":"1"}"#, r#"{"ok":true,"schemas":[{"name":"sc1","objects":2,"relationships":1},{"name":"sc2","objects":2,"relationships":1}]}"#),
+    ("render", r#"{"op":"render","session":"1","schema":"sc1"}"#, r#"{"ok":true,"text":"schema sc1\n  object classes:\n    [Student] (entity)\n        . Name: char [key]\n        . GPA: real\n    [Department] (entity)\n        . Dname: char [key]\n  relationship sets:\n    <Majors> -- Student (0,1) -- Department (0,n)\n"}"#),
+    ("equiv", r#"{"op":"equiv","session":"1","a":"sc1.Student.Name","b":"sc2.Grad_student.Name"}"#, r#"{"ok":true,"classes":1}"#),
+    ("equiv", r#"{"op":"equiv","session":"1","a":"sc1.Department.Dname","b":"sc2.Department.Dname"}"#, r#"{"ok":true,"classes":2}"#),
+    ("candidates", r#"{"op":"candidates","session":"1","a":"sc1","b":"sc2"}"#, r#"{"ok":true,"pairs":[{"left":"sc1.Department","right":"sc2.Department","equivalent":1,"ratio":0.5},{"left":"sc1.Student","right":"sc2.Grad_student","equivalent":1,"ratio":0.3333333333333333}]}"#),
+    ("rel_candidates", r#"{"op":"rel_candidates","session":"1","a":"sc1","b":"sc2"}"#, r#"{"ok":true,"pairs":[]}"#),
+    ("assert", r#"{"op":"assert","session":"1","a":"sc1.Department","b":"sc2.Department","assertion":"equals"}"#, r#"{"ok":true,"derived":[{"a":"sc1.Student","rel":"DR","b":"sc2.Department"},{"a":"sc1.Department","rel":"DR","b":"sc2.Grad_student"}]}"#),
+    ("assert", r#"{"op":"assert","session":"1","a":"sc1.Student","b":"sc2.Grad_student","assertion":"contains"}"#, r#"{"ok":true,"derived":[]}"#),
+    ("rel_assert", r#"{"op":"rel_assert","session":"1","a":"sc1.Majors","b":"sc2.Majors","assertion":"equals"}"#, r#"{"ok":true,"derived":[]}"#),
+    ("matrix", r#"{"op":"matrix","session":"1","a":"sc1","b":"sc2"}"#, r#"{"ok":true,"rows":["sc1.Student","sc1.Department"],"cols":["sc2.Grad_student","sc2.Department"],"cells":[["contains","disjoint-non-integrable"],["disjoint-non-integrable","equals"]]}"#),
+    ("integrate", r#"{"op":"integrate","session":"1","a":"sc1","b":"sc2","pull_up":false,"mappings":true}"#, r##"{"ok":true,"schema":"schema sc1+sc2\n  object classes:\n    [Student] (entity)\n        . D_Name: char [key]\n        . GPA: real\n      [Grad_student] (category)\n          . GPA: real\n    [E_Department] (entity)\n        . D_Dname: char [key]\n  relationship sets:\n    <E_Stud_Majo> -- Student (0,1) -- E_Department (0,n)\n","objects":3,"relationships":1,"mappings":"# mapping dictionary\nobject sc1.Department -> E_Department\nobject sc1.Majors -> E_Stud_Majo\nobject sc1.Student -> Student\nobject sc2.Department -> E_Department\nobject sc2.Grad_student -> Grad_student\nobject sc2.Majors -> E_Stud_Majo\nattr   sc1.Department.Dname -> E_Department.D_Dname\nattr   sc1.Student.GPA -> Student.GPA\nattr   sc1.Student.Name -> Student.D_Name\nattr   sc2.Department.Dname -> E_Department.D_Dname\nattr   sc2.Grad_student.GPA -> Grad_student.GPA\nattr   sc2.Grad_student.Name -> Student.D_Name\n"}"##),
+    ("retract", r#"{"op":"retract","session":"1","a":"sc1.Student","b":"sc2.Grad_student"}"#, r#"{"ok":true,"retracted":true}"#),
+    ("rel_retract", r#"{"op":"rel_retract","session":"1","a":"sc1.Majors","b":"sc2.Majors"}"#, r#"{"ok":true,"retracted":true}"#),
+    ("unequiv", r#"{"op":"unequiv","session":"1","a":"sc2.Grad_student.Name"}"#, r#"{"ok":true,"removed":true}"#),
+    ("save", r#"{"op":"save","session":"1"}"#, r##"{"ok":true,"script":"# sit session v1\nschema sc1 {\n  entity Student {\n    Name: char key;\n    GPA: real;\n  }\n  entity Department {\n    Dname: char key;\n  }\n  relationship Majors {\n    Student (0,1);\n    Department (0,n);\n  }\n}\nschema sc2 {\n  entity Grad_student {\n    Name: char key;\n    GPA: real;\n  }\n  entity Department {\n    Dname: char key;\n  }\n  relationship Majors {\n    Grad_student (0,1);\n    Department (0,n);\n  }\n}\nequiv sc1.Department.Dname = sc2.Department.Dname;\nassert sc1.Department equals sc2.Department;\n"}"##),
+    ("load", r#"{"op":"load","script":"schema tiny { entity Only { id: int key; } }"}"#, r#"{"ok":true,"session":"2","schemas":["tiny"]}"#),
+    ("close", r#"{"op":"close","session":"2"}"#, r#"{"ok":true,"closed":true}"#),
+    ("stats", r#"{"op":"stats"}"#, "@stats"),
+    ("shutdown", r#"{"op":"shutdown"}"#, r#"{"ok":true,"draining":true}"#),
+];
+
+fn substitute(frame: &str) -> String {
+    frame.replace("%DDL1%", DDL1).replace("%DDL2%", DDL2)
+}
+
+#[test]
+fn every_verb_has_a_fixture() {
+    let covered: std::collections::BTreeSet<&str> =
+        TRANSCRIPT.iter().map(|(verb, _, _)| *verb).collect();
+    for verb in sit_server::proto::VERBS {
+        assert!(covered.contains(verb), "verb `{verb}` has no golden fixture");
+    }
+}
+
+#[test]
+fn transcript_matches_goldens() {
+    let service = Service::new(StoreConfig::default());
+    for (verb, request, expected) in TRANSCRIPT {
+        let request = substitute(request);
+        let handled = service.handle_line(&request);
+        let response = handled.frame;
+        if *expected == "@stats" {
+            let v = Json::parse(&response).expect("stats parses");
+            assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{response}");
+            let verbs = v.get("verbs").expect("stats has verbs");
+            let ping = verbs.get("ping").expect("ping was counted");
+            assert_eq!(ping.get("count").and_then(Json::as_num), Some(1.0));
+            assert!(v.get("uptime_ms").and_then(Json::as_num).is_some());
+            assert_eq!(v.get("sessions").and_then(Json::as_num), Some(1.0));
+            continue;
+        }
+        let expected = substitute(expected);
+        assert_eq!(
+            response, expected,
+            "verb `{verb}`\nrequest : {request}\ngot     : {response}\nexpected: {expected}"
+        );
+    }
+}
+
+/// Error frames are fixtures too: the typed codes are part of the
+/// protocol surface.
+#[test]
+fn golden_error_frames() {
+    let service = Service::new(StoreConfig::default());
+    let cases = [
+        (
+            "not json at all",
+            r#"{"ok":false,"error":{"code":"parse","message":"json error at byte 0: expected `null`"}}"#,
+        ),
+        (
+            r#"{"op":"frobnicate"}"#,
+            r#"{"ok":false,"error":{"code":"bad_request","message":"unknown op `frobnicate`"}}"#,
+        ),
+        (
+            r#"{"op":"save","session":"41"}"#,
+            r#"{"ok":false,"error":{"code":"unknown_session","message":"no session `41` (closed, evicted, or never opened)"}}"#,
+        ),
+    ];
+    for (request, expected) in cases {
+        let got = service.handle_line(request).frame;
+        assert_eq!(got, expected, "request: {request}");
+    }
+}

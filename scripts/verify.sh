@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the workspace must build, test, and resolve its
-# dependency graph fully offline (no registry crates at all).
+# dependency graph fully offline (no registry crates at all), and the
+# session server must come up, answer a scripted session, and shut down
+# cleanly.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,28 +14,98 @@ cargo build --release --workspace --all-targets
 echo "== cargo test -q (offline) =="
 cargo test -q --workspace
 
-echo "== dependency graph is sit-* only =="
-# Every package in the resolved graph must come from this workspace
-# (path sources named sit-*); any registry+/git+ source is a failure.
+echo "== dependency graph is the workspace allowlist, nothing else =="
+# The resolved graph must be exactly the in-tree crates below: every
+# package must be path-sourced and on the allowlist. Anything else —
+# a registry/git source, or a new in-tree crate nobody allowlisted —
+# fails loudly with the offending crate named.
 meta_json="$(mktemp)"
 trap 'rm -f "$meta_json"' EXIT
 cargo metadata --format-version 1 --locked >"$meta_json"
 python3 - "$meta_json" <<'EOF'
 import json, sys
 
+ALLOWED = {
+    "sit",
+    "sit-bench",
+    "sit-core",
+    "sit-datagen",
+    "sit-ecr",
+    "sit-matcher",
+    "sit-prng",
+    "sit-server",
+    "sit-translate",
+    "sit-tui",
+}
+
 with open(sys.argv[1]) as fh:
     meta = json.load(fh)
 bad = []
 for pkg in meta["packages"]:
-    if pkg["source"] is not None or not pkg["name"].startswith("sit"):
-        bad.append(f'{pkg["name"]} {pkg["version"]} (source: {pkg["source"]})')
+    if pkg["source"] is not None:
+        bad.append(
+            f'{pkg["name"]} {pkg["version"]}: external source {pkg["source"]}'
+        )
+    elif pkg["name"] not in ALLOWED:
+        bad.append(
+            f'{pkg["name"]} {pkg["version"]}: path crate not on the allowlist '
+            f"(add it to scripts/verify.sh deliberately)"
+        )
 if bad:
-    print("non-workspace crates in dependency graph:", file=sys.stderr)
+    print("FAIL: dependency graph contains non-allowlisted crates:", file=sys.stderr)
     for line in bad:
         print(f"  {line}", file=sys.stderr)
     sys.exit(1)
 names = sorted(p["name"] for p in meta["packages"])
 print(f"ok: {len(names)} workspace crates, no external deps: {', '.join(names)}")
 EOF
+
+echo "== server smoke test (serve + scripted client session) =="
+serve_log="$(mktemp)"
+./target/release/sit serve --addr 127.0.0.1:0 >"$serve_log" &
+serve_pid=$!
+cleanup_server() {
+  kill "$serve_pid" 2>/dev/null || true
+  rm -f "$serve_log" "$meta_json"
+}
+trap cleanup_server EXIT
+
+# The server prints `listening on 127.0.0.1:PORT` once bound.
+port=""
+for _ in $(seq 1 50); do
+  port="$(sed -n 's/^listening on 127\.0\.0\.1://p' "$serve_log" || true)"
+  [ -n "$port" ] && break
+  sleep 0.1
+done
+[ -n "$port" ] || { echo "FAIL: server never reported its port" >&2; exit 1; }
+
+smoke_out="$(./target/release/sit client "127.0.0.1:$port" <<'REQS'
+{"op":"ping"}
+{"op":"load","script":"schema s1 { entity Student { Name: char key; } }\nschema s2 { entity Pupil { Name: char key; } }\nequiv s1.Student.Name = s2.Pupil.Name;\nassert s1.Student equals s2.Pupil;"}
+{"op":"integrate","session":"1","a":"s1","b":"s2"}
+{"op":"stats"}
+{"op":"shutdown"}
+REQS
+)"
+echo "$smoke_out" | sed 's/^/  /'
+echo "$smoke_out" | grep -q '"pong":true' \
+  || { echo "FAIL: no pong from server" >&2; exit 1; }
+echo "$smoke_out" | grep -q '"ok":true,"schema":' \
+  || { echo "FAIL: integrate over the wire failed" >&2; exit 1; }
+echo "$smoke_out" | grep -q '"draining":true' \
+  || { echo "FAIL: shutdown not acknowledged" >&2; exit 1; }
+
+# Graceful shutdown: the process must exit on its own (drained), not be
+# killed by the trap.
+for _ in $(seq 1 50); do
+  kill -0 "$serve_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$serve_pid" 2>/dev/null; then
+  echo "FAIL: server still running after shutdown request" >&2
+  exit 1
+fi
+wait "$serve_pid" 2>/dev/null || true
+echo "ok: server served the scripted session and drained cleanly"
 
 echo "== verify OK =="

@@ -11,6 +11,8 @@
 //! sit --save OUT                    save the session script before exiting
 //! sit --to-integrated SCHEMA "Q"    translate a view query (with --integrate)
 //! sit --to-components "Q"           translate a global query (with --integrate)
+//! sit serve [--addr H:P] [--stdio]  serve sessions over line-delimited JSON
+//! sit client ADDR                   pipe request lines to a running server
 //! ```
 //!
 //! Event files for `--script`: one event per line — `key <chars>` sends
@@ -26,6 +28,8 @@ use sit::core::mapping::Query;
 use sit::core::script;
 use sit::core::session::Session;
 use sit::ecr::render;
+use sit::server::server::{serve_stdio, Server, ServerConfig};
+use sit::server::Client;
 use sit::tui::app::App;
 use sit::tui::event::Event;
 
@@ -102,6 +106,16 @@ sit - interactive schema integration (ICDE 1988 reproduction)
   sit --to-integrated SCHEMA QUERY  translate a view query (with --integrate)
   sit --to-components QUERY         translate a global query (with --integrate)
   sit --save OUT                    save the session script
+
+  sit serve [--addr HOST:PORT] [--stdio] [--threads N]
+            [--queue N] [--max-sessions N] [--ttl SECS]
+                                    serve integration sessions over
+                                    newline-delimited JSON (TCP, or
+                                    stdin/stdout with --stdio); port 0
+                                    picks a free port, printed on the
+                                    `listening on ...` line
+  sit client ADDR                   connect to a server; request lines
+                                    from stdin, response lines to stdout
 ";
 
 fn main() {
@@ -112,6 +126,14 @@ fn main() {
 }
 
 fn run() -> Result<(), String> {
+    // Subcommands first: `sit serve ...` and `sit client ...` have their
+    // own flag sets and never reach the session/TUI pipeline.
+    let mut argv = std::env::args().skip(1);
+    match argv.next().as_deref() {
+        Some("serve") => return serve(argv),
+        Some("client") => return client(argv),
+        _ => {}
+    }
     let args = parse_args()?;
 
     // Load session scripts / DDL files. Files are concatenated and loaded
@@ -219,6 +241,72 @@ fn run() -> Result<(), String> {
         eprintln!("session saved to {out}");
     }
     Ok(())
+}
+
+/// `sit serve`: run the session server on TCP (or stdio).
+fn serve(mut argv: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut addr = "127.0.0.1:4088".to_owned();
+    let mut stdio = false;
+    let mut config = ServerConfig::default();
+    while let Some(a) = argv.next() {
+        let mut need = |what: &str| argv.next().ok_or(format!("{what} needs a value"));
+        match a.as_str() {
+            "--addr" => addr = need("--addr")?,
+            "--stdio" => stdio = true,
+            "--threads" => {
+                config.threads = parse_num(&need("--threads")?, "--threads")?;
+                if config.threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+            }
+            "--queue" => config.queue_cap = parse_num(&need("--queue")?, "--queue")?,
+            "--max-sessions" => {
+                config.store.max_sessions = parse_num(&need("--max-sessions")?, "--max-sessions")?;
+            }
+            "--ttl" => {
+                let secs: u64 = parse_num(&need("--ttl")?, "--ttl")?;
+                config.store.ttl =
+                    (secs > 0).then(|| std::time::Duration::from_secs(secs));
+            }
+            other => return Err(format!("unknown `serve` argument `{other}`")),
+        }
+    }
+    if stdio {
+        let service = sit::server::Service::new(config.store);
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        return serve_stdio(&service, stdin.lock(), stdout.lock()).map_err(|e| e.to_string());
+    }
+    let server = Server::bind(addr.as_str(), config).map_err(|e| format!("{addr}: {e}"))?;
+    // The smoke tests (and anyone using port 0) discover the actual
+    // port from this line; keep its shape stable.
+    let local = server.local_addr().map_err(|e| e.to_string())?;
+    println!("listening on {local}");
+    std::io::stdout().flush().ok();
+    server.run().map_err(|e| e.to_string())
+}
+
+/// `sit client`: forward request lines from stdin, print response lines.
+fn client(mut argv: impl Iterator<Item = String>) -> Result<(), String> {
+    let addr = argv.next().ok_or("client needs an ADDR argument")?;
+    if let Some(extra) = argv.next() {
+        return Err(format!("unknown `client` argument `{extra}`"));
+    }
+    let mut client = Client::connect(addr.as_str()).map_err(|e| format!("{addr}: {e}"))?;
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = client.call_raw(&line).map_err(|e| e.to_string())?;
+        println!("{response}");
+    }
+    Ok(())
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag}: `{s}` is not a number"))
 }
 
 /// Parse a `--script` event file.

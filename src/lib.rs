@@ -19,6 +19,9 @@
 //!   oracles.
 //! * [`tui`] — the interactive tool: thirteen screens over a scriptable
 //!   terminal engine.
+//! * [`server`] — integration sessions as a service: a newline-delimited
+//!   JSON protocol over TCP or stdio (`sit serve`), with a session store,
+//!   a bounded worker pool, and per-verb latency metrics.
 //!
 //! Start with [`core::session::Session`] for programmatic integration or
 //! [`tui::App`] for the interactive tool; `examples/quickstart.rs` walks
@@ -28,5 +31,6 @@ pub use sit_core as core;
 pub use sit_datagen as datagen;
 pub use sit_ecr as ecr;
 pub use sit_matcher as matcher;
+pub use sit_server as server;
 pub use sit_translate as translate;
 pub use sit_tui as tui;
