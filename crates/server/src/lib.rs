@@ -18,10 +18,16 @@
 //!   latency, served by the `stats` verb;
 //! * [`service`] — transport-agnostic dispatch (never panics on
 //!   malformed input);
+//! * [`transport`] — the byte-stream abstraction the serving loop runs
+//!   on: real TCP and an in-memory simulated connection;
+//! * [`fault`] — seeded, deterministic fault injection over any
+//!   transport (torn frames, stalls, drops, virtual time), the engine of
+//!   the chaos test suite;
 //! * [`server`] — TCP (`sit serve`) and stdio (`sit serve --stdio`)
-//!   transports with graceful draining shutdown;
-//! * [`client`] — the thin blocking client used by `sit client`, the
-//!   tests, and the `loadgen` bench.
+//!   serving with graceful draining shutdown, generic over [`transport`];
+//! * [`client`] — the blocking client used by `sit client`, the tests,
+//!   and the `loadgen` bench, with configurable timeouts and bounded
+//!   jittered retry for idempotent verbs.
 //!
 //! ```no_run
 //! use sit_server::server::{Server, ServerConfig};
@@ -44,17 +50,20 @@
 //! ```
 
 pub mod client;
+pub mod fault;
 pub mod metrics;
 pub mod pool;
 pub mod proto;
 pub mod server;
 pub mod service;
 pub mod store;
+pub mod transport;
 pub mod wire;
 
-pub use client::Client;
+pub use client::{error_code, Client, ClientConfig, RetryPolicy};
 pub use proto::{ErrorCode, Request, ServerError};
-pub use server::{serve_stdio, Server, ServerConfig, ServerHandle};
+pub use server::{serve_connection, serve_stdio, Server, ServerConfig, ServerHandle};
+pub use transport::{sim_pair, SimConn, TcpTransport, Transport};
 pub use service::Service;
 pub use store::{SessionStore, StoreConfig};
 pub use wire::Json;

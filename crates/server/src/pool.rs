@@ -93,6 +93,16 @@ impl ThreadPool {
         self.shared.queue.lock().expect("pool lock").jobs.len()
     }
 
+    /// The bounded queue depth this pool rejects beyond.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Drain and stop: queued jobs still run, new submissions are
     /// rejected, and the call returns once every worker has exited.
     /// Idempotent.

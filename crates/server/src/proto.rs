@@ -242,6 +242,27 @@ impl Request {
         }
     }
 
+    /// Whether replaying this request after an ambiguous failure is
+    /// safe. True only for verbs whose server-side effect is at most a
+    /// session LRU refresh (reads, `ping`, `stats`, `save` — writing
+    /// the same bytes twice is harmless). Mutations (`open`, `assert`,
+    /// `integrate`, ...) and lifecycle verbs (`close`, `shutdown`)
+    /// could double-apply if the response was lost, so the client must
+    /// never retry them automatically.
+    pub fn is_idempotent(&self) -> bool {
+        matches!(
+            self,
+            Request::Ping
+                | Request::Stats
+                | Request::Save { .. }
+                | Request::ListSchemas { .. }
+                | Request::Render { .. }
+                | Request::Candidates { .. }
+                | Request::RelCandidates { .. }
+                | Request::Matrix { .. }
+        )
+    }
+
     /// Decode a request from its parsed JSON frame.
     pub fn from_json(v: &Json) -> Result<Request, ServerError> {
         let op = v

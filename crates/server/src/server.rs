@@ -21,16 +21,18 @@
 //! The same protocol, one request per line on stdin, one response per
 //! line on stdout — single-threaded, for pipes and tests.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::io::{BufRead, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use crate::pool::ThreadPool;
-use crate::proto::ServerError;
+use crate::proto::{ErrorCode, ServerError};
 use crate::service::Service;
 use crate::store::StoreConfig;
+use crate::transport::{Interrupter, TcpTransport, Transport};
+use crate::wire::{FrameBuffer, Framed};
 
 /// Serving limits.
 #[derive(Clone, Copy, Debug)]
@@ -98,7 +100,7 @@ impl Server {
             config,
         } = self;
         let pool = Arc::new(ThreadPool::new(config.threads, config.queue_cap));
-        let open_streams: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let interrupters: Arc<Mutex<Vec<Interrupter>>> = Arc::new(Mutex::new(Vec::new()));
         let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
 
         for stream in listener.incoming() {
@@ -106,18 +108,16 @@ impl Server {
                 break;
             }
             let Ok(stream) = stream else { continue };
-            // One small response frame per request: waiting for more
-            // data to coalesce (Nagle + delayed ACK) would add ~40ms to
-            // every round trip, so flush segments immediately.
-            let _ = stream.set_nodelay(true);
-            if let Ok(clone) = stream.try_clone() {
-                open_streams.lock().expect("streams lock").push(clone);
-            }
+            let transport = TcpTransport::new(stream);
+            interrupters
+                .lock()
+                .expect("interrupters lock")
+                .push(transport.interrupter());
             let service = Arc::clone(&service);
             let pool = Arc::clone(&pool);
             let handle = std::thread::Builder::new()
                 .name("sit-conn".into())
-                .spawn(move || connection_loop(stream, &service, &pool))
+                .spawn(move || serve_connection(transport, &service, &pool))
                 .expect("spawn connection thread");
             conn_threads.push(handle);
         }
@@ -126,8 +126,8 @@ impl Server {
         // the connection threads as results arrive)...
         pool.shutdown();
         // ...then unblock any reader still waiting for a next request.
-        for stream in open_streams.lock().expect("streams lock").iter() {
-            let _ = stream.shutdown(Shutdown::Read);
+        for interrupter in interrupters.lock().expect("interrupters lock").iter() {
+            interrupter.interrupt();
         }
         for handle in conn_threads {
             let _ = handle.join();
@@ -181,40 +181,73 @@ impl ServerHandle {
     }
 }
 
-fn connection_loop(stream: TcpStream, service: &Arc<Service>, pool: &Arc<ThreadPool>) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    let mut line = String::new();
+/// Serve one connection over any [`Transport`] until the peer hangs up
+/// (EOF), a write fails, or an unrecoverable frame arrives.
+///
+/// This is the loop both the TCP acceptor and the simulated/chaos
+/// transports run: bytes are reassembled into newline-delimited frames by
+/// a [`FrameBuffer`] (so torn and coalesced reads behave identically on
+/// every transport), each frame executes on the shared bounded pool, and
+/// the response is written back in request order. A frame that exceeds
+/// [`crate::wire::MAX_LINE`] without a newline gets a typed `parse` error
+/// and the connection is closed — there is no way to resynchronize a
+/// stream mid-flood.
+pub fn serve_connection<T: Transport>(
+    mut transport: T,
+    service: &Arc<Service>,
+    pool: &Arc<ThreadPool>,
+) {
+    let mut frames = FrameBuffer::new();
+    let mut chunk = [0u8; 4096];
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
+        while let Some(framed) = frames.next_frame() {
+            let line = match framed {
+                Framed::Line(line) => line,
+                Framed::Overflow => {
+                    let error = ServerError {
+                        code: ErrorCode::Parse,
+                        message: "frame exceeds maximum length without a newline".into(),
+                    };
+                    let _ = write_frame(&mut transport, &error.to_response().encode());
+                    return;
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (tx, rx) = mpsc::channel();
+            let job_service = Arc::clone(service);
+            let submitted = pool.submit(Box::new(move || {
+                let _ = tx.send(job_service.handle_line(&line));
+            }));
+            let response = match submitted {
+                Ok(()) => match rx.recv() {
+                    Ok(handled) => handled.frame,
+                    Err(_) => return, // worker vanished mid-drain
+                },
+                Err(_) if service.is_draining() => {
+                    ServerError::shutting_down().to_response().encode()
+                }
+                Err(_) => ServerError::overloaded().to_response().encode(),
+            };
+            if write_frame(&mut transport, &response).is_err() {
+                return;
+            }
+        }
+        match transport.read(&mut chunk) {
             Ok(0) | Err(_) => return, // disconnect (or drain unblocked us)
-            Ok(_) => {}
-        }
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (tx, rx) = mpsc::channel();
-        let job_service = Arc::clone(service);
-        let frame = std::mem::take(&mut line);
-        let submitted = pool.submit(Box::new(move || {
-            let _ = tx.send(job_service.handle_line(&frame));
-        }));
-        let response = match submitted {
-            Ok(()) => match rx.recv() {
-                Ok(handled) => handled.frame,
-                Err(_) => return, // worker vanished mid-drain
-            },
-            Err(_) if service.is_draining() => ServerError::shutting_down().to_response().encode(),
-            Err(_) => ServerError::overloaded().to_response().encode(),
-        };
-        if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
-            return;
+            Ok(n) => frames.push(&chunk[..n]),
         }
     }
+}
+
+/// Write one response frame (payload + newline) and flush it.
+fn write_frame<T: Transport>(transport: &mut T, frame: &str) -> std::io::Result<()> {
+    let mut out = Vec::with_capacity(frame.len() + 1);
+    out.extend_from_slice(frame.as_bytes());
+    out.push(b'\n');
+    transport.write_all(&out)?;
+    transport.flush()
 }
 
 /// Serve the protocol over arbitrary reader/writer pairs (stdin/stdout in

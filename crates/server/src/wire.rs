@@ -206,6 +206,76 @@ fn write_str(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Largest newline-terminated line the framing layer will buffer before
+/// giving up on the connection (a frame plus a little slack). A peer that
+/// streams more than this without a newline is answered with a `parse`
+/// error and disconnected rather than growing the buffer forever.
+pub const MAX_LINE: usize = MAX_FRAME + 1024;
+
+/// One extracted frame from a [`FrameBuffer`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Framed {
+    /// A complete line (newline stripped, lossily decoded as UTF-8 so a
+    /// mangled frame still reaches the parser and earns a typed error).
+    Line(String),
+    /// The peer exceeded [`MAX_LINE`] without sending a newline; the
+    /// buffered bytes were discarded and the connection should close.
+    Overflow,
+}
+
+/// Incremental newline framing over raw transport bytes.
+///
+/// The serving loop and the chaos harness both speak
+/// one-JSON-object-per-line over byte streams that may arrive torn into
+/// arbitrary segments (TCP, or the fault-injected simulated transport).
+/// `FrameBuffer` reassembles lines independently of how the bytes were
+/// chunked: push whatever arrived, pop complete frames.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    scanned: usize,
+}
+
+impl FrameBuffer {
+    /// Empty buffer.
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Append raw bytes read from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered without a terminating newline.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pop the next complete frame, if one has fully arrived.
+    pub fn next_frame(&mut self) -> Option<Framed> {
+        if let Some(i) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+            let end = self.scanned + i;
+            let mut line: Vec<u8> = self.buf.drain(..=end).collect();
+            self.scanned = 0;
+            line.pop(); // the newline
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return Some(Framed::Line(String::from_utf8_lossy(&line).into_owned()));
+        }
+        // No newline yet; remember how far we scanned so the next push
+        // resumes there instead of rescanning.
+        self.scanned = self.buf.len();
+        if self.buf.len() > MAX_LINE {
+            self.buf.clear();
+            self.scanned = 0;
+            return Some(Framed::Overflow);
+        }
+        None
+    }
+}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -478,6 +548,75 @@ mod tests {
     fn rejects_garbage() {
         for bad in ["", "{", "[1,", "{\"a\"}", "tru", "1.2.3", "\"\x01\"", "{}x", "nul"] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_torn_lines() {
+        let mut fb = FrameBuffer::new();
+        fb.push(b"{\"op\":");
+        assert_eq!(fb.next_frame(), None);
+        fb.push(b"\"ping\"}\n{\"op\":\"st");
+        assert_eq!(
+            fb.next_frame(),
+            Some(Framed::Line("{\"op\":\"ping\"}".into()))
+        );
+        assert_eq!(fb.next_frame(), None);
+        fb.push(b"ats\"}\r\n");
+        assert_eq!(
+            fb.next_frame(),
+            Some(Framed::Line("{\"op\":\"stats\"}".into()))
+        );
+        assert_eq!(fb.next_frame(), None);
+        assert_eq!(fb.buffered(), 0);
+    }
+
+    #[test]
+    fn frame_buffer_yields_every_line_of_one_chunk() {
+        let mut fb = FrameBuffer::new();
+        fb.push(b"a\nb\n\nc\n");
+        let mut lines = Vec::new();
+        while let Some(Framed::Line(l)) = fb.next_frame() {
+            lines.push(l);
+        }
+        assert_eq!(lines, ["a", "b", "", "c"]);
+    }
+
+    #[test]
+    fn frame_buffer_overflows_on_unterminated_floods() {
+        let mut fb = FrameBuffer::new();
+        let chunk = vec![b'x'; MAX_LINE / 4 + 1];
+        for _ in 0..4 {
+            fb.push(&chunk);
+        }
+        assert_eq!(fb.next_frame(), Some(Framed::Overflow));
+        // The buffer is usable again afterwards (caller decides to close).
+        fb.push(b"ok\n");
+        assert_eq!(fb.next_frame(), Some(Framed::Line("ok".into())));
+    }
+
+    #[test]
+    fn frame_buffer_is_chunking_invariant() {
+        let text = b"{\"op\":\"ping\"}\n{\"op\":\"open\"}\n{\"op\":\"stats\"}\n";
+        let whole = {
+            let mut fb = FrameBuffer::new();
+            fb.push(text);
+            let mut out = Vec::new();
+            while let Some(Framed::Line(l)) = fb.next_frame() {
+                out.push(l);
+            }
+            out
+        };
+        for step in 1..7usize {
+            let mut fb = FrameBuffer::new();
+            let mut out = Vec::new();
+            for chunk in text.chunks(step) {
+                fb.push(chunk);
+                while let Some(Framed::Line(l)) = fb.next_frame() {
+                    out.push(l);
+                }
+            }
+            assert_eq!(out, whole, "chunk size {step}");
         }
     }
 

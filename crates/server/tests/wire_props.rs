@@ -1,9 +1,85 @@
 //! Property tests for the wire format: encode→parse round trips over
 //! generated values, plus a fuzz-ish pass feeding random and truncated
 //! byte soup to the decoder (it must reject, never panic).
+//!
+//! Crashing inputs are not lost when they are found: every fuzz case
+//! runs under `catch_unwind`, and a panic persists the offending input
+//! to the committed corpus at `tests/corpus/` (as `crash-<hash>.txt`)
+//! before failing the test. Every run replays the whole corpus FIRST —
+//! seeded regression inputs plus any previously persisted crashes — so
+//! a decoder regression trips deterministically, before any randomness.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 
 use sit_prng::{prop, prop_assert, prop_assert_eq, Xoshiro256pp};
-use sit_server::wire::{Json, MAX_DEPTH};
+use sit_server::wire::{FrameBuffer, Framed, Json, MAX_DEPTH};
+
+/// The committed fuzz corpus, shipped with the repo.
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+/// One fuzz input through every decoder entry point: the JSON parser
+/// directly, and the line reassembler feeding it (with a CRLF variant).
+/// Outcome is free; panicking is the only failure.
+fn decode_case(text: &str) {
+    let _ = Json::parse(text);
+    let mut frames = FrameBuffer::new();
+    frames.push(text.as_bytes());
+    frames.push(b"\r\n");
+    while let Some(framed) = frames.next_frame() {
+        if let Framed::Line(line) = framed {
+            let _ = Json::parse(&line);
+        }
+    }
+}
+
+/// Run a generated input; if the decoder panics, persist the input to
+/// the corpus so the crash replays on every future run, then fail.
+fn check_case_persisting(text: &str) {
+    if catch_unwind(AssertUnwindSafe(|| decode_case(text))).is_err() {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        text.hash(&mut h);
+        let dir = corpus_dir();
+        std::fs::create_dir_all(&dir).ok();
+        let path = dir.join(format!("crash-{:016x}.txt", h.finish()));
+        std::fs::write(&path, text).ok();
+        panic!(
+            "decoder panicked; input persisted to {} — commit it",
+            path.display()
+        );
+    }
+}
+
+/// Replay every committed corpus file (sorted, so ordering is stable)
+/// through the decoder before any random generation happens.
+fn replay_corpus() {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus exists")
+        .map(|e| e.expect("corpus entry").path())
+        .filter(|p| p.is_file())
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "committed corpus is empty");
+    for path in files {
+        let bytes = std::fs::read(&path).expect("read corpus file");
+        // Lossy conversion mirrors what a reader hands the parser; raw
+        // invalid UTF-8 bytes in the corpus exercise that path too.
+        let text = String::from_utf8_lossy(&bytes);
+        assert!(
+            catch_unwind(AssertUnwindSafe(|| decode_case(&text))).is_ok(),
+            "corpus case {} panics the decoder",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn corpus_replays_without_panicking() {
+    replay_corpus();
+}
 
 /// A random scalar-ish string exercising escapes, unicode, and controls.
 fn gen_string(rng: &mut Xoshiro256pp) -> String {
@@ -92,6 +168,7 @@ fn nesting_round_trips_exactly_at_the_depth_limit() {
 
 #[test]
 fn decoder_never_panics_on_random_bytes() {
+    replay_corpus(); // regressions first, randomness second
     prop::check_cases("wire fuzz: random bytes", 256, |rng| {
         let len = rng.gen_range(0usize..200);
         let mut bytes = Vec::with_capacity(len);
@@ -110,13 +187,14 @@ fn decoder_never_panics_on_random_bytes() {
         // Invalid UTF-8 can't even reach the parser through &str; lossy
         // conversion mirrors what a reader would hand us.
         let text = String::from_utf8_lossy(&bytes);
-        let _ = Json::parse(&text); // must not panic; outcome is free
+        check_case_persisting(&text); // must not panic; outcome is free
         Ok(())
     });
 }
 
 #[test]
 fn decoder_never_panics_on_truncated_frames() {
+    replay_corpus(); // regressions first, randomness second
     prop::check_cases("wire fuzz: truncated frames", 128, |rng| {
         let v = gen_value(rng, 0);
         let encoded = v.encode();
@@ -129,6 +207,7 @@ fn decoder_never_panics_on_truncated_frames() {
             end -= 1;
         }
         let truncated = &encoded[..end];
+        check_case_persisting(truncated);
         if let Ok(reparsed) = Json::parse(truncated) {
             // A prefix can itself be valid only for scalar prefixes
             // (e.g. `12` of `123`); anything structural must fail.

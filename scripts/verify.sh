@@ -60,13 +60,34 @@ names = sorted(p["name"] for p in meta["packages"])
 print(f"ok: {len(names)} workspace crates, no external deps: {', '.join(names)}")
 EOF
 
+echo "== chaos determinism (fixed seeds 101-124, cross-process trace diff) =="
+# The suite itself runs every seed twice in-process and asserts the
+# traces match; here we additionally run the whole suite in two separate
+# processes and require the combined event-trace dumps to be identical —
+# catching any nondeterminism tied to process state (ASLR, hash seeds,
+# thread scheduling) that an in-process comparison could mask.
+chaos_a="$(mktemp)"
+chaos_b="$(mktemp)"
+trap 'rm -f "$meta_json" "$chaos_a" "$chaos_b"' EXIT
+for dump in "$chaos_a" "$chaos_b"; do
+  SIT_CHAOS_TRACE="$dump" cargo test -q --release -p sit-server --test chaos \
+    chaos_scenarios_are_deterministic_and_hold_invariants -- --exact >/dev/null
+done
+if ! cmp -s "$chaos_a" "$chaos_b"; then
+  echo "FAIL: chaos event traces diverged between two runs of the same seeds:" >&2
+  diff "$chaos_a" "$chaos_b" | head -20 >&2
+  exit 1
+fi
+[ -s "$chaos_a" ] || { echo "FAIL: chaos trace dump is empty" >&2; exit 1; }
+echo "ok: $(wc -l <"$chaos_a") trace lines, byte-identical across independent runs"
+
 echo "== server smoke test (serve + scripted client session) =="
 serve_log="$(mktemp)"
 ./target/release/sit serve --addr 127.0.0.1:0 >"$serve_log" &
 serve_pid=$!
 cleanup_server() {
   kill "$serve_pid" 2>/dev/null || true
-  rm -f "$serve_log" "$meta_json"
+  rm -f "$serve_log" "$meta_json" "$chaos_a" "$chaos_b"
 }
 trap cleanup_server EXIT
 

@@ -12,7 +12,9 @@
 //! sit --to-integrated SCHEMA "Q"    translate a view query (with --integrate)
 //! sit --to-components "Q"           translate a global query (with --integrate)
 //! sit serve [--addr H:P] [--stdio]  serve sessions over line-delimited JSON
-//! sit client ADDR                   pipe request lines to a running server
+//! sit client ADDR [--timeout-ms N] [--retries N]
+//!                                   pipe request lines to a running
+//!                                   server; exits 2 on typed error frames
 //! ```
 //!
 //! Event files for `--script`: one event per line — `key <chars>` sends
@@ -28,8 +30,9 @@ use sit::core::mapping::Query;
 use sit::core::script;
 use sit::core::session::Session;
 use sit::ecr::render;
+use sit::server::client::error_code;
 use sit::server::server::{serve_stdio, Server, ServerConfig};
-use sit::server::Client;
+use sit::server::{Client, ClientConfig, Json, Request};
 use sit::tui::app::App;
 use sit::tui::event::Event;
 
@@ -114,8 +117,14 @@ sit - interactive schema integration (ICDE 1988 reproduction)
                                     stdin/stdout with --stdio); port 0
                                     picks a free port, printed on the
                                     `listening on ...` line
-  sit client ADDR                   connect to a server; request lines
-                                    from stdin, response lines to stdout
+  sit client ADDR [--timeout-ms N] [--retries N]
+                                    connect to a server; request lines
+                                    from stdin, response lines to stdout.
+                                    Idempotent verbs retry with jittered
+                                    backoff; --timeout-ms 0 disables the
+                                    socket timeout. Exits 2 (with the
+                                    error code on stderr) if any response
+                                    was a typed error frame
 ";
 
 fn main() {
@@ -287,20 +296,57 @@ fn serve(mut argv: impl Iterator<Item = String>) -> Result<(), String> {
 }
 
 /// `sit client`: forward request lines from stdin, print response lines.
+///
+/// Exits 0 only if every response was a success frame; any typed error
+/// frame is echoed to stdout as usual but also reported on stderr, and
+/// the process exits with status 2 so shell pipelines can detect
+/// server-side failures without parsing JSON.
 fn client(mut argv: impl Iterator<Item = String>) -> Result<(), String> {
-    let addr = argv.next().ok_or("client needs an ADDR argument")?;
-    if let Some(extra) = argv.next() {
-        return Err(format!("unknown `client` argument `{extra}`"));
+    let mut addr: Option<String> = None;
+    let mut config = ClientConfig::default();
+    while let Some(a) = argv.next() {
+        let mut need = |what: &str| argv.next().ok_or(format!("{what} needs a value"));
+        match a.as_str() {
+            "--timeout-ms" => {
+                let ms: u64 = parse_num(&need("--timeout-ms")?, "--timeout-ms")?;
+                config.timeout = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+            }
+            "--retries" => config.retry.retries = parse_num(&need("--retries")?, "--retries")?,
+            other if addr.is_none() && !other.starts_with('-') => addr = Some(other.to_owned()),
+            other => return Err(format!("unknown `client` argument `{other}`")),
+        }
     }
-    let mut client = Client::connect(addr.as_str()).map_err(|e| format!("{addr}: {e}"))?;
+    let addr = addr.ok_or("client needs an ADDR argument")?;
+    let mut client =
+        Client::connect_with(addr.as_str(), config).map_err(|e| format!("{addr}: {e}"))?;
     let stdin = std::io::stdin();
+    let mut saw_error = false;
     for line in stdin.lock().lines() {
         let line = line.map_err(|e| e.to_string())?;
         if line.trim().is_empty() {
             continue;
         }
-        let response = client.call_raw(&line).map_err(|e| e.to_string())?;
+        // Typed requests go through the retry/backoff path (idempotent
+        // verbs only); anything unparsable is sent raw so the server
+        // answers with its typed parse error.
+        let request = Json::parse(&line)
+            .ok()
+            .and_then(|v| Request::from_json(&v).ok());
+        let response = match request {
+            Some(req) => client
+                .call_retrying(&req)
+                .map(|frame| frame.encode())
+                .map_err(|e| e.to_string())?,
+            None => client.call_raw(&line).map_err(|e| e.to_string())?,
+        };
         println!("{response}");
+        if let Some(code) = Json::parse(&response).ok().as_ref().and_then(error_code) {
+            saw_error = true;
+            eprintln!("sit client: server error: {code}");
+        }
+    }
+    if saw_error {
+        std::process::exit(2);
     }
     Ok(())
 }

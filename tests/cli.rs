@@ -145,4 +145,108 @@ fn help_prints_usage() {
     let (stdout, _, ok) = run(&["--help"]);
     assert!(ok);
     assert!(stdout.contains("--integrate"), "{stdout}");
+    assert!(stdout.contains("--timeout-ms"), "{stdout}");
+}
+
+/// A `sit serve` subprocess on an ephemeral port, killed on drop.
+struct ServeProc {
+    child: std::process::Child,
+    addr: String,
+}
+
+impl ServeProc {
+    fn start() -> ServeProc {
+        use std::io::{BufRead, BufReader};
+        let mut child = sit()
+            .args(["serve", "--addr", "127.0.0.1:0"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn sit serve");
+        // The server prints `listening on 127.0.0.1:PORT` once bound.
+        let stdout = child.stdout.take().expect("serve stdout");
+        let mut banner = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut banner)
+            .expect("read listen banner");
+        let addr = banner
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner: {banner:?}"))
+            .to_owned();
+        ServeProc { child, addr }
+    }
+
+    /// Pipe `input` through `sit client <addr> <extra...>`.
+    fn client(&self, extra: &[&str], input: &str) -> (String, String, Option<i32>) {
+        use std::io::Write;
+        let mut cmd = sit();
+        cmd.arg("client").arg(&self.addr).args(extra);
+        let mut child = cmd
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn sit client");
+        child
+            .stdin
+            .take()
+            .expect("client stdin")
+            .write_all(input.as_bytes())
+            .expect("write requests");
+        let out = child.wait_with_output().expect("client exits");
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+            out.status.code(),
+        )
+    }
+}
+
+impl Drop for ServeProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn client_exits_zero_on_success_frames() {
+    let server = ServeProc::start();
+    let (stdout, stderr, code) = server.client(
+        &["--timeout-ms", "5000", "--retries", "2"],
+        "{\"op\":\"ping\"}\n{\"op\":\"open\"}\n",
+    );
+    assert_eq!(code, Some(0), "stdout: {stdout} stderr: {stderr}");
+    assert!(stdout.contains("\"pong\":true"), "{stdout}");
+    assert!(stdout.contains("\"session\":"), "{stdout}");
+    assert!(stderr.is_empty(), "{stderr}");
+}
+
+#[test]
+fn client_exits_nonzero_on_typed_error_frame() {
+    let server = ServeProc::start();
+    // unknown_session: the error frame still prints to stdout, the code
+    // goes to stderr, and the exit status is 2 — later requests on the
+    // same run are still served.
+    let (stdout, stderr, code) = server.client(
+        &[],
+        "{\"op\":\"save\",\"session\":\"999\"}\n{\"op\":\"ping\"}\n",
+    );
+    assert_eq!(code, Some(2), "stdout: {stdout} stderr: {stderr}");
+    assert!(stdout.contains("\"code\":\"unknown_session\""), "{stdout}");
+    assert!(stdout.contains("\"pong\":true"), "later requests still served: {stdout}");
+    assert!(
+        stderr.contains("server error: unknown_session"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn client_reports_parse_errors_from_garbage_lines() {
+    let server = ServeProc::start();
+    let (stdout, stderr, code) = server.client(&[], "this is not json\n");
+    assert_eq!(code, Some(2), "stdout: {stdout} stderr: {stderr}");
+    assert!(stdout.contains("\"code\":\"parse\""), "{stdout}");
+    assert!(stderr.contains("server error: parse"), "{stderr}");
 }

@@ -289,6 +289,86 @@ fn integration_invariants() {
     });
 }
 
+// ---------------------------------------------------------------------
+// Phase-2 math at scale: sparse OCS vs dense, ranking totality
+// ---------------------------------------------------------------------
+
+/// Across many generated workloads, the sparse OCS derivation agrees
+/// exactly with the dense matrix (including which entries are zero),
+/// and the ranked candidate list is a total, stable, deterministic
+/// order over the non-zero entries.
+#[test]
+fn sparse_ocs_matches_dense_and_ranking_is_total() {
+    use sit::core::resemblance::{ocs_matrix, ocs_sparse};
+    prop::check_cases("sparse_ocs_vs_dense", 64, |rng| {
+        let pair = sit::datagen::GeneratorConfig {
+            seed: rng.gen_range(0u64..10_000),
+            objects_per_schema: rng.gen_range(3usize..12),
+            overlap: rng.gen_f64(),
+            ..Default::default()
+        }
+        .generate_pair();
+        let mut oracle = sit::datagen::GroundTruthOracle::new(&pair.truth);
+        let (session, (sa, sb)) = sit_bench_drive(&pair, &mut oracle);
+        let catalog = session.catalog();
+        let equiv = session.equivalences();
+
+        // Dense and sparse derivations agree entry-for-entry: the
+        // sparse map holds exactly the non-zero dense cells.
+        let dense = ocs_matrix(catalog, equiv, sa, sb);
+        let sparse = ocs_sparse(catalog, equiv, sa, sb);
+        let mut nonzero = 0usize;
+        for (i, row) in dense.iter().enumerate() {
+            for (j, &count) in row.iter().enumerate() {
+                let key = (sit::ecr::ObjectId::new(i as u32), sit::ecr::ObjectId::new(j as u32));
+                match sparse.get(&key) {
+                    Some(&s) => {
+                        prop_assert_eq!(s, count, "sparse disagrees at ({i},{j})");
+                        prop_assert!(count > 0, "sparse carries a zero entry at ({i},{j})");
+                        nonzero += 1;
+                    }
+                    None => prop_assert_eq!(count, 0, "dense non-zero at ({i},{j}) missing"),
+                }
+            }
+        }
+        prop_assert_eq!(sparse.len(), nonzero, "sparse has extra entries");
+
+        // Ranking: one row per non-zero cell, deterministic across
+        // calls, and strictly totally ordered by the documented key
+        // (ratio desc, equivalent count desc, definition order asc).
+        let ranked = session.candidates(sa, sb);
+        prop_assert_eq!(ranked.len(), nonzero, "ranking row count != non-zero OCS cells");
+        prop_assert_eq!(
+            &session.candidates(sa, sb),
+            &ranked,
+            "ranking is not deterministic"
+        );
+        for w in ranked.windows(2) {
+            let (p, q) = (&w[0], &w[1]);
+            let name_p = (catalog.obj_display(p.left), catalog.obj_display(p.right));
+            let name_q = (catalog.obj_display(q.left), catalog.obj_display(q.right));
+            let strictly_before =
+                p.ratio > q.ratio || (p.ratio == q.ratio && name_p < name_q);
+            prop_assert!(
+                strictly_before,
+                "ranking not a strict total order: ({:?} {}) then ({:?} {})",
+                name_p, p.ratio, name_q, q.ratio
+            );
+        }
+        for row in &ranked {
+            prop_assert!(row.equivalent >= 1, "ranked pair with zero OCS");
+            let key = (row.left.object, row.right.object);
+            prop_assert_eq!(
+                sparse.get(&key).copied(),
+                Some(row.equivalent),
+                "ranked count disagrees with OCS at {key:?}"
+            );
+            prop_assert!(row.ratio > 0.0 && row.ratio.is_finite());
+        }
+        Ok(())
+    });
+}
+
 /// Minimal phase 2+3 drive used by the property test (mirrors
 /// `sit_bench::drive_session` without depending on the bench crate).
 fn sit_bench_drive(
