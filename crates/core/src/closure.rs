@@ -257,6 +257,7 @@ impl<N: Copy + Eq + Ord + Hash + fmt::Debug> AssertionEngine<N> {
         assertion: Assertion,
         name: impl Fn(N) -> String,
     ) -> Result<Vec<DerivedFact<N>>, ConflictReport> {
+        let _span = sit_obs::trace::span("closure.assert");
         let result = self.apply(
             a,
             b,

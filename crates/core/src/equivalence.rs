@@ -81,6 +81,7 @@ impl EquivalenceRegistry {
     /// the cross-schema rule and domain compatibility; both endpoints must
     /// already be registered.
     pub fn declare_equivalent(&mut self, catalog: &Catalog, a: GAttr, b: GAttr) -> Result<()> {
+        let _span = sit_obs::trace::span("acs.declare_equivalent");
         if a.schema == b.schema {
             return Err(CoreError::SameSchemaEquivalence(format!(
                 "{} ~ {}",

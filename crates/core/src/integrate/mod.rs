@@ -205,6 +205,7 @@ pub fn integrate(
     sb: SchemaId,
     options: &IntegrationOptions,
 ) -> Result<IntegratedSchema> {
+    let _span = sit_obs::trace::span("integrate");
     if sa == sb {
         return Err(crate::error::CoreError::InconsistentLattice(
             "cannot integrate a schema with itself".to_owned(),
@@ -217,10 +218,16 @@ pub fn integrate(
     let object_clusters = clusters(obj_engine, &universe);
 
     // Object lattice (nodes, IS-A edges, names).
-    let lattice = objects::build_lattice(catalog, obj_engine, &universe)?;
+    let lattice = {
+        let _span = sit_obs::trace::span("integrate.lattice");
+        objects::build_lattice(catalog, obj_engine, &universe)?
+    };
 
     // Attribute placement with absorption and provenance.
-    let placements = attrs::place_attributes(catalog, equiv, &lattice, options);
+    let placements = {
+        let _span = sit_obs::trace::span("integrate.attrs");
+        attrs::place_attributes(catalog, equiv, &lattice, options)
+    };
 
     // Assemble the object side of the schema.
     let name = options.schema_name.clone().unwrap_or_else(|| {
@@ -230,10 +237,16 @@ pub fn integrate(
             catalog.schema(sb).name()
         )
     });
-    let mut assembled = objects::assemble(catalog, &lattice, placements, &name, options)?;
+    let mut assembled = {
+        let _span = sit_obs::trace::span("integrate.assemble");
+        objects::assemble(catalog, &lattice, placements, &name, options)?
+    };
 
     // Relationship lattice on top of the assembled objects.
-    rels::integrate_rels(catalog, equiv, rel_engine, sa, sb, options, &mut assembled)?;
+    {
+        let _span = sit_obs::trace::span("integrate.rels");
+        rels::integrate_rels(catalog, equiv, rel_engine, sa, sb, options, &mut assembled)?;
+    }
 
     let objects::Assembled {
         builder,

@@ -99,6 +99,7 @@ pub fn ocs_matrix(
     sa: SchemaId,
     sb: SchemaId,
 ) -> Vec<Vec<usize>> {
+    let _span = sit_obs::trace::span("ocs.matrix");
     let na = catalog.schema(sa).object_count();
     let nb = catalog.schema(sb).object_count();
     let mut m = vec![vec![0usize; nb]; na];
@@ -123,6 +124,7 @@ pub fn ocs_sparse(
     sa: SchemaId,
     sb: SchemaId,
 ) -> std::collections::HashMap<(sit_ecr::ObjectId, sit_ecr::ObjectId), usize> {
+    let _span = sit_obs::trace::span("ocs.sparse");
     let mut out = std::collections::HashMap::new();
     for (_, members) in equiv.classes() {
         // Distinct object owners per side contributed by this class.
@@ -172,6 +174,7 @@ pub fn ranked_pairs(
     sa: SchemaId,
     sb: SchemaId,
 ) -> Vec<CandidatePair<GObj>> {
+    let _span = sit_obs::trace::span("ocs.ranked_pairs");
     let mut out = Vec::new();
     for a in catalog.objects_of(sa) {
         for b in catalog.objects_of(sb) {
@@ -202,6 +205,7 @@ pub fn ranked_rel_pairs(
     sa: SchemaId,
     sb: SchemaId,
 ) -> Vec<CandidatePair<GRel>> {
+    let _span = sit_obs::trace::span("ocs.ranked_rel_pairs");
     let mut out = Vec::new();
     for a in catalog.rels_of(sa) {
         for b in catalog.rels_of(sb) {

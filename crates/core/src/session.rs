@@ -46,6 +46,7 @@ impl Session {
     /// Register a component schema; seeds structural facts and registers
     /// every attribute in its own equivalence class.
     pub fn add_schema(&mut self, schema: Schema) -> Result<SchemaId> {
+        let _span = sit_obs::trace::span("session.add_schema");
         let sid = self.catalog.add(schema)?;
         self.equiv.register_schema(&self.catalog, sid);
         self.seed_structure(sid)?;

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! # sit-obs — the observability substrate
+//!
+//! The paper's tool was interactive: the DDA *watched* phase-2 ACS/OCS
+//! recomputation and phase-3 assertion checking happen on screen. The
+//! production-scale port serves those phases behind a wire protocol, so
+//! the watching has to come back as instrumentation. This crate is the
+//! substrate both layers share:
+//!
+//! * [`clock`] — a [`Clock`] trait over monotonic nanoseconds, with a
+//!   wall-clock implementation and a manually-advanced one. The fault
+//!   layer's virtual clock implements the same trait, so traces and
+//!   latency metrics recorded under chaos schedules are deterministic.
+//! * [`trace`] — spans and instant events. A [`Tracer`] owns a bounded
+//!   in-memory ring of finished events (oldest overwritten, drops
+//!   counted); span nesting is tracked per thread, and a scoped
+//!   "current tracer" lets library code ([`trace::span`]) emit spans
+//!   without plumbing a handle through every signature — a no-op when
+//!   no tracer is installed. Export is Chrome `trace_event` JSON,
+//!   viewable in `chrome://tracing` / Perfetto.
+//! * [`metrics`] — lock-free [`Counter`]s and base-2 log-bucketed
+//!   [`Histogram`]s (65 buckets cover the full `u64` range), with
+//!   Prometheus text-exposition rendering.
+//! * [`sync`] — [`lock_recover`], the poison-recovering lock helper:
+//!   one panicking worker must not take observability down with it.
+//!
+//! Everything is `std`-only and allocation-light on the hot path: a
+//! span is two clock reads, one ring push, and a thread-local stack
+//! push/pop; a histogram record is four relaxed atomic updates.
+
+pub mod clock;
+pub mod metrics;
+pub mod sync;
+pub mod trace;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use metrics::{Counter, Histogram};
+pub use sync::lock_recover;
+pub use trace::{Span, TraceEvent, Tracer};

@@ -1,0 +1,36 @@
+//! Poison-recovering locking.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Lock `m`, recovering the guard if a previous holder panicked.
+///
+/// Observability state (event rings, metric registries, fault logs) is
+/// monotone append-mostly data: a panic mid-append leaves at worst one
+/// torn record, never an invariant the rest of the system depends on.
+/// Propagating the poison instead would let one panicking worker take
+/// every later `stats`/`trace_dump`/`metrics_text` reader down with it
+/// — exactly when the numbers are most interesting.
+pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Mutex;
+
+    #[test]
+    fn recovers_a_poisoned_mutex() {
+        let m = Mutex::new(vec![1u32]);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison it");
+        }));
+        assert!(result.is_err());
+        assert!(m.is_poisoned());
+        let mut guard = lock_recover(&m);
+        guard.push(2);
+        assert_eq!(*guard, vec![1, 2]);
+    }
+}

@@ -25,6 +25,8 @@ use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use sit_obs::sync::lock_recover;
+use sit_obs::trace::Tracer;
 use sit_prng::Xoshiro256pp;
 
 use crate::transport::{Interrupter, Transport};
@@ -49,6 +51,18 @@ impl VirtualClock {
     /// Advance simulated time.
     pub fn advance_ms(&self, ms: u64) {
         self.0.fetch_add(ms, Ordering::SeqCst);
+    }
+}
+
+/// Virtual time as a trace/metrics clock: build a
+/// [`crate::Service::with_clock`] over the same clock the fault plans
+/// advance, and every timing field (span timestamps, latencies,
+/// `stats` uptime) becomes a pure function of the schedule — which is
+/// what lets byte-traced chaos workloads include `stats` and
+/// `trace_dump`.
+impl sit_obs::clock::Clock for VirtualClock {
+    fn now_ns(&self) -> u64 {
+        self.now_ms().saturating_mul(1_000_000)
     }
 }
 
@@ -122,8 +136,15 @@ impl fmt::Display for FaultEvent {
 }
 
 /// Shared, append-only record of everything the fault layer did.
+///
+/// Locking is poison-recovering ([`lock_recover`]): a panic elsewhere
+/// in a serve thread must not take the fault record down with it —
+/// the log is exactly what the post-mortem wants to read.
 #[derive(Clone, Default)]
-pub struct EventLog(Arc<Mutex<Vec<FaultEvent>>>);
+pub struct EventLog {
+    events: Arc<Mutex<Vec<FaultEvent>>>,
+    tracer: Option<Tracer>,
+}
 
 impl EventLog {
     /// An empty log.
@@ -131,13 +152,26 @@ impl EventLog {
         EventLog::default()
     }
 
+    /// An empty log that additionally mirrors every fault event onto
+    /// `tracer` as a `fault` instant event — chaos perturbations and
+    /// request spans land in one stream, one export format.
+    pub fn with_tracer(tracer: Tracer) -> EventLog {
+        EventLog {
+            events: Arc::default(),
+            tracer: Some(tracer),
+        }
+    }
+
     fn push(&self, event: FaultEvent) {
-        self.0.lock().expect("event log lock").push(event);
+        if let Some(tracer) = &self.tracer {
+            tracer.instant_arg("fault", "event", event.to_string());
+        }
+        lock_recover(&self.events).push(event);
     }
 
     /// Copy of the events so far, in arrival order.
     pub fn snapshot(&self) -> Vec<FaultEvent> {
-        self.0.lock().expect("event log lock").clone()
+        lock_recover(&self.events).clone()
     }
 
     /// The most recent connection-drop event, if any faulted transport
@@ -145,9 +179,7 @@ impl EventLog {
     /// executed (the cut hit the response); `ReadDrop` means it never
     /// reached the service.
     pub fn last_drop(&self) -> Option<FaultEvent> {
-        self.0
-            .lock()
-            .expect("event log lock")
+        lock_recover(&self.events)
             .iter()
             .rev()
             .find(|e| matches!(e, FaultEvent::ReadDrop { .. } | FaultEvent::WriteDrop { .. }))

@@ -8,16 +8,20 @@
 //!
 //! * [`wire`] — a hermetic JSON parser/encoder with depth and size
 //!   limits (the workspace carries no external crates);
-//! * [`proto`] — the request/response vocabulary: 20 verbs covering the
-//!   whole session façade, typed error codes;
+//! * [`proto`] — the request/response vocabulary: 22 verbs covering the
+//!   whole session façade plus observability (`stats`, `metrics_text`,
+//!   `trace_dump`), typed error codes;
 //! * [`store`] — a bounded [`store::SessionStore`] with LRU + TTL
 //!   eviction and per-session locking;
 //! * [`pool`] — a fixed worker pool with a bounded queue; a full queue
 //!   rejects with the `overloaded` error instead of blocking;
-//! * [`metrics`] — per-verb counts, error counts, and min/median/p95
-//!   latency, served by the `stats` verb;
+//! * [`metrics`] — lock-free per-verb counters and base-2 latency
+//!   histograms (`sit-obs`), served by `stats` and, as Prometheus
+//!   text, by `metrics_text`;
 //! * [`service`] — transport-agnostic dispatch (never panics on
-//!   malformed input);
+//!   malformed input), traced per request (`request` →
+//!   `parse`/`dispatch`/`encode` spans plus engine spans) into a
+//!   bounded ring served by `trace_dump` as Chrome trace JSON;
 //! * [`transport`] — the byte-stream abstraction the serving loop runs
 //!   on: real TCP and an in-memory simulated connection;
 //! * [`fault`] — seeded, deterministic fault injection over any

@@ -27,11 +27,19 @@
 //! | `matrix` | `session`, `a`, `b` | `rows`, `cols`, `cells` |
 //! | `integrate` | `session`, `a`, `b`, `pull_up?`, `mappings?` | `schema`, `objects`, `relationships`, `mappings?` |
 //! | `stats` | — | `uptime_ms`, `sessions`, `evicted`, `verbs` |
+//! | `metrics_text` | — | `text` (Prometheus exposition) |
+//! | `trace_dump` | `limit?` | `events`, `dropped`, `trace` (Chrome JSON) |
 //! | `shutdown` | — | `draining` |
 //!
 //! Assertion keywords are the session-script spellings
 //! ([`sit_core::script::keyword`]): `equals`, `contained-in`, `contains`,
 //! `disjoint-integrable`, `may-be-integrable`, `disjoint-non-integrable`.
+//!
+//! Any request may additionally carry a `trace_id` string. It is not
+//! part of the decoded [`Request`] (unknown keys are ignored); the
+//! service reads it off the frame and attaches it to the request's
+//! trace span, so a client can find its own requests in a
+//! `trace_dump`.
 
 use std::fmt;
 
@@ -42,7 +50,7 @@ use sit_core::script;
 use crate::wire::Json;
 
 /// Every protocol verb, in fixture order.
-pub const VERBS: [&str; 20] = [
+pub const VERBS: [&str; 22] = [
     "ping",
     "open",
     "close",
@@ -62,6 +70,8 @@ pub const VERBS: [&str; 20] = [
     "matrix",
     "integrate",
     "stats",
+    "metrics_text",
+    "trace_dump",
     "shutdown",
 ];
 
@@ -211,6 +221,14 @@ pub enum Request {
     },
     /// Service metrics.
     Stats,
+    /// Service metrics as Prometheus text exposition.
+    MetricsText,
+    /// The service's retained trace ring as Chrome `trace_event` JSON.
+    TraceDump {
+        /// Keep only the newest `limit` events (default 512, so the
+        /// response frame stays well under the wire limits).
+        limit: Option<u64>,
+    },
     /// Graceful shutdown: drain in-flight requests, then stop.
     Shutdown,
 }
@@ -238,6 +256,8 @@ impl Request {
             Request::Matrix { .. } => "matrix",
             Request::Integrate { .. } => "integrate",
             Request::Stats => "stats",
+            Request::MetricsText => "metrics_text",
+            Request::TraceDump { .. } => "trace_dump",
             Request::Shutdown => "shutdown",
         }
     }
@@ -254,6 +274,8 @@ impl Request {
             self,
             Request::Ping
                 | Request::Stats
+                | Request::MetricsText
+                | Request::TraceDump { .. }
                 | Request::Save { .. }
                 | Request::ListSchemas { .. }
                 | Request::Render { .. }
@@ -350,6 +372,10 @@ impl Request {
                 mappings: flag("mappings"),
             },
             "stats" => Request::Stats,
+            "metrics_text" => Request::MetricsText,
+            "trace_dump" => Request::TraceDump {
+                limit: v.get("limit").and_then(Json::as_num).map(|n| n as u64),
+            },
             "shutdown" => Request::Shutdown,
             other => {
                 return Err(ServerError::bad_request(format!("unknown op `{other}`")));
@@ -362,7 +388,16 @@ impl Request {
         let mut pairs: Vec<(&str, Json)> = vec![("op", Json::str(self.op()))];
         let mut push = |k: &'static str, v: &str| pairs.push((k, Json::str(v)));
         match self {
-            Request::Ping | Request::Open | Request::Stats | Request::Shutdown => {}
+            Request::Ping
+            | Request::Open
+            | Request::Stats
+            | Request::MetricsText
+            | Request::Shutdown => {}
+            Request::TraceDump { limit } => {
+                if let Some(limit) = limit {
+                    pairs.push(("limit", Json::num(*limit)));
+                }
+            }
             Request::Close { session }
             | Request::Save { session }
             | Request::ListSchemas { session } => push("session", session),
@@ -594,6 +629,8 @@ mod tests {
                 mappings: true,
             },
             Request::Stats,
+            Request::MetricsText,
+            Request::TraceDump { limit: Some(64) },
             Request::Shutdown,
         ];
         assert_eq!(reqs.len(), VERBS.len(), "one request per verb");

@@ -197,6 +197,8 @@ pub fn serve_connection<T: Transport>(
     service: &Arc<Service>,
     pool: &Arc<ThreadPool>,
 ) {
+    let tracer = service.tracer().clone();
+    tracer.instant("accept");
     let mut frames = FrameBuffer::new();
     let mut chunk = [0u8; 4096];
     loop {
@@ -215,6 +217,7 @@ pub fn serve_connection<T: Transport>(
             if line.trim().is_empty() {
                 continue;
             }
+            tracer.instant("frame");
             let (tx, rx) = mpsc::channel();
             let job_service = Arc::clone(service);
             let submitted = pool.submit(Box::new(move || {
@@ -230,7 +233,11 @@ pub fn serve_connection<T: Transport>(
                 }
                 Err(_) => ServerError::overloaded().to_response().encode(),
             };
-            if write_frame(&mut transport, &response).is_err() {
+            let written = {
+                let _write = tracer.span("write");
+                write_frame(&mut transport, &response)
+            };
+            if written.is_err() {
                 return;
             }
         }

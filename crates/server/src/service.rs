@@ -6,20 +6,41 @@
 //! panics on malformed input: bad JSON, bad requests, unknown sessions,
 //! engine conflicts, and drain-mode rejections all come back as typed
 //! error frames.
+//!
+//! Every request runs under a `request` span on the service's
+//! [`Tracer`] with `parse`/`dispatch`/`encode` children (and, through
+//! the scoped current tracer, whatever engine spans the dispatched
+//! verb emits — `ocs.*`, `closure.assert`, `integrate`, ...). A
+//! client-supplied `trace_id` on the frame is attached to the request
+//! span. All timing — spans, latency metrics, `stats` uptime — reads
+//! one injected [`Clock`], so a service built over a virtual clock
+//! ([`Service::with_clock`]) produces byte-deterministic timing fields
+//! under deterministic schedules; this is what lets the chaos suite
+//! keep `stats` in byte-traced workloads.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
 
 use sit_core::integrate::IntegrationOptions;
 use sit_core::script;
 use sit_core::session::Session;
 use sit_ecr::render;
+use sit_obs::clock::{Clock, MonotonicClock};
+use sit_obs::metrics::prom_counter;
+use sit_obs::trace::{self, Tracer};
 
 use crate::metrics::Metrics;
 use crate::proto::{ok_response, Request, ServerError};
 use crate::store::{SessionStore, StoreConfig};
 use crate::wire::Json;
+
+/// Finished trace events the service retains (oldest overwritten).
+pub const TRACE_CAPACITY: usize = 8_192;
+
+/// Newest events a `trace_dump` response carries when the request
+/// names no `limit` — sized so the frame stays far below the 1 MiB
+/// wire ceiling.
+pub const TRACE_DUMP_DEFAULT_LIMIT: usize = 512;
 
 /// A handled frame: the response line plus whether the request asked the
 /// server to shut down.
@@ -34,19 +55,40 @@ pub struct Handled {
 pub struct Service {
     store: SessionStore,
     metrics: Metrics,
+    tracer: Tracer,
+    clock: Arc<dyn Clock>,
     draining: AtomicBool,
     shutdown_hook: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
 }
 
 impl Service {
-    /// Service over a fresh store.
+    /// Service over a fresh store, timed by wall-clock time.
     pub fn new(store_config: StoreConfig) -> Service {
+        Service::with_clock(store_config, Arc::new(MonotonicClock::new()))
+    }
+
+    /// Service whose spans, latencies, and uptime all read `clock` —
+    /// inject [`crate::fault::VirtualClock`] for deterministic timing
+    /// fields under chaos schedules.
+    pub fn with_clock(store_config: StoreConfig, clock: Arc<dyn Clock>) -> Service {
         Service {
             store: SessionStore::new(store_config),
-            metrics: Metrics::new(),
+            metrics: Metrics::with_clock(Arc::clone(&clock)),
+            tracer: Tracer::new(Arc::clone(&clock), TRACE_CAPACITY),
+            clock,
             draining: AtomicBool::new(false),
             shutdown_hook: Mutex::new(None),
         }
+    }
+
+    /// The service's trace collector.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The clock every timing field reads.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
     }
 
     /// Register a callback fired once when a `shutdown` request is
@@ -83,45 +125,71 @@ impl Service {
     /// Handle one request line; always produces exactly one response
     /// frame.
     pub fn handle_line(&self, line: &str) -> Handled {
-        let started = Instant::now();
+        // Install this service's tracer for the scope, so engine code
+        // reached from dispatch attaches its spans here. The request
+        // span drops (and records) after its children — including the
+        // encode span opened inside `finish`.
+        let _current = trace::set_current(&self.tracer);
+        let mut req_span = self.tracer.span("request");
+        let started_ns = self.clock.now_ns();
         let trimmed = line.trim();
-        let parsed = Json::parse(trimmed);
+        let parsed = {
+            let _parse = self.tracer.span("parse");
+            Json::parse(trimmed)
+        };
         let value = match parsed {
             Err(e) => {
                 let err = ServerError {
                     code: crate::proto::ErrorCode::Parse,
                     message: e.to_string(),
                 };
-                return self.finish("_parse", started, Err(err), false);
+                req_span.set_arg("op", "_parse");
+                return self.finish("_parse", started_ns, Err(err), false);
             }
             Ok(v) => v,
         };
+        if let Some(trace_id) = value.get("trace_id").and_then(Json::as_str) {
+            req_span.set_arg("trace_id", trace_id);
+        }
         let request = match Request::from_json(&value) {
-            Err(e) => return self.finish("_invalid", started, Err(e), false),
+            Err(e) => {
+                req_span.set_arg("op", "_invalid");
+                return self.finish("_invalid", started_ns, Err(e), false);
+            }
             Ok(r) => r,
         };
         let op = request.op();
-        if self.is_draining() && !matches!(request, Request::Stats | Request::Ping) {
-            return self.finish(op, started, Err(ServerError::shutting_down()), false);
+        req_span.set_arg("op", op);
+        if self.is_draining()
+            && !matches!(
+                request,
+                Request::Stats | Request::Ping | Request::MetricsText | Request::TraceDump { .. }
+            )
+        {
+            return self.finish(op, started_ns, Err(ServerError::shutting_down()), false);
         }
         let shutdown = matches!(request, Request::Shutdown);
-        let result = self.dispatch(request);
+        let result = {
+            let _dispatch = self.tracer.span("dispatch");
+            self.dispatch(request)
+        };
         let shutdown = shutdown && result.is_ok();
         if shutdown {
             self.begin_shutdown();
         }
-        self.finish(op, started, result, shutdown)
+        self.finish(op, started_ns, result, shutdown)
     }
 
     fn finish(
         &self,
         op: &'static str,
-        started: Instant,
+        started_ns: u64,
         result: Result<Json, ServerError>,
         shutdown: bool,
     ) -> Handled {
-        let latency = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let latency = self.clock.now_ns().saturating_sub(started_ns);
         self.metrics.record(op, latency, result.is_err());
+        let _encode = self.tracer.span("encode");
         let frame = match result {
             Ok(v) => v.encode(),
             Err(e) => e.to_response().encode(),
@@ -380,8 +448,55 @@ impl Service {
                     ("verbs", Json::Obj(verbs)),
                 ]))
             }
+            Request::MetricsText => {
+                Ok(ok_response(vec![("text", Json::str(self.metrics_text()))]))
+            }
+            Request::TraceDump { limit } => {
+                let limit = limit
+                    .map(|n| usize::try_from(n).unwrap_or(usize::MAX))
+                    .unwrap_or(TRACE_DUMP_DEFAULT_LIMIT)
+                    .min(TRACE_CAPACITY);
+                let mut events = self.tracer.snapshot();
+                let truncated = events.len().saturating_sub(limit);
+                if truncated > 0 {
+                    events.drain(..truncated);
+                }
+                Ok(ok_response(vec![
+                    ("events", Json::num(events.len() as u64)),
+                    (
+                        "dropped",
+                        Json::num(self.tracer.dropped() + truncated as u64),
+                    ),
+                    ("trace", Json::str(trace::chrome_json(&events))),
+                ]))
+            }
             Request::Shutdown => Ok(ok_response(vec![("draining", Json::Bool(true))])),
         }
+    }
+
+    /// The full Prometheus text exposition: service gauges first, then
+    /// the per-verb counters and latency histograms from [`Metrics`].
+    pub fn metrics_text(&self) -> String {
+        let (lru, ttl) = self.store.evictions();
+        let mut out = String::new();
+        out.push_str("# TYPE sit_uptime_ms gauge\n");
+        prom_counter(&mut out, "sit_uptime_ms", "", self.metrics.uptime_ms());
+        out.push_str("# TYPE sit_sessions gauge\n");
+        prom_counter(&mut out, "sit_sessions", "", self.store.len() as u64);
+        out.push_str("# TYPE sit_sessions_evicted_total counter\n");
+        prom_counter(&mut out, "sit_sessions_evicted_total", "kind=\"lru\"", lru);
+        prom_counter(&mut out, "sit_sessions_evicted_total", "kind=\"ttl\"", ttl);
+        out.push_str("# TYPE sit_trace_events gauge\n");
+        prom_counter(&mut out, "sit_trace_events", "", self.tracer.len() as u64);
+        out.push_str("# TYPE sit_trace_events_dropped_total counter\n");
+        prom_counter(
+            &mut out,
+            "sit_trace_events_dropped_total",
+            "",
+            self.tracer.dropped(),
+        );
+        out.push_str(&self.metrics.prometheus());
+        out
     }
 
     fn with_session<F>(&self, id: &str, f: F) -> Result<Json, ServerError>
@@ -605,9 +720,11 @@ mod tests {
         // Further mutating requests are rejected...
         let r = call(&service, r#"{"op":"open"}"#);
         assert_eq!(err_code(&r).as_deref(), Some("shutting_down"));
-        // ...but stats/ping still answer (drain observability).
+        // ...but observability verbs still answer during the drain.
         assert!(ok(&call(&service, r#"{"op":"ping"}"#)));
         assert!(ok(&call(&service, r#"{"op":"stats"}"#)));
+        assert!(ok(&call(&service, r#"{"op":"metrics_text"}"#)));
+        assert!(ok(&call(&service, r#"{"op":"trace_dump"}"#)));
     }
 
     #[test]

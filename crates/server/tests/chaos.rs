@@ -118,12 +118,14 @@ impl Model {
 // Workload generation.
 // ---------------------------------------------------------------------------
 
-/// Scenario verbs. `stats` is deliberately absent: its response embeds
-/// wall-clock measurements (uptime, latencies), so its byte length is
-/// not a function of the seed and would shift every later fault offset
-/// in the write stream. The same counters are oracle-checked after
-/// every step via direct store probes instead, and stats-under-faults
-/// is covered by [`stats_under_torn_frames_is_well_formed`].
+/// Scenario verbs. `stats` joins the byte-traced workload because the
+/// scenario's service runs on its [`VirtualClock`]: uptime and every
+/// latency are functions of virtual time, which advances only on
+/// planned transport faults — never mid-dispatch in a lockstep
+/// scenario — so the response bytes are a pure function of the seed
+/// like every other verb. (`metrics_text`/`trace_dump` stay out: their
+/// payloads embed the span ring, whose thread ids are process-global
+/// and so not a function of the seed.)
 #[derive(Clone, Debug)]
 enum Op {
     Ping,
@@ -132,6 +134,7 @@ enum Op {
     Save(u64),
     List(u64),
     Add(u64, usize),
+    Stats,
     BadJson,
     BadVerb,
 }
@@ -147,6 +150,7 @@ impl Op {
             Op::Add(id, step) => format!(
                 r#"{{"op":"add_schema","session":"{id}","ddl":"schema s{step} {{ entity E{step} {{ Id: char key; }} }}"}}"#
             ),
+            Op::Stats => r#"{"op":"stats"}"#.into(),
             Op::BadJson => "{chaos, not json".into(),
             Op::BadVerb => r#"{"op":"warp"}"#.into(),
         }
@@ -171,7 +175,7 @@ fn gen_op(rng: &mut Xoshiro256pp, model: &Model, step: usize) -> Op {
         12..=14 => Op::Save(pick_id(rng, model)),
         15..=17 => Op::List(pick_id(rng, model)),
         18..=19 => Op::Add(pick_id(rng, model), step),
-        20 => Op::Ping,
+        20 => Op::Stats,
         21 => Op::BadJson,
         _ => Op::BadVerb,
     }
@@ -362,6 +366,11 @@ fn apply_response(seed: u64, step: usize, op: &Op, frame: &str, model: &mut Mode
                 assert_eq!(err_code(&value), Some("unknown_session"), "{ctx}");
             }
         }
+        Op::Stats => {
+            assert!(is_ok(&value), "{ctx}");
+            let got = value.get("sessions").and_then(Json::as_num);
+            assert_eq!(got, Some(model.live.len() as f64), "{ctx}");
+        }
         Op::BadJson => assert_eq!(err_code(&value), Some("parse"), "{ctx}"),
         Op::BadVerb => assert_eq!(err_code(&value), Some("bad_request"), "{ctx}"),
     }
@@ -383,7 +392,7 @@ fn apply_blind(op: &Op, model: &mut Model) {
                 model.touch(id);
             }
         }
-        Op::Ping | Op::BadJson | Op::BadVerb => {}
+        Op::Ping | Op::Stats | Op::BadJson | Op::BadVerb => {}
     }
 }
 
@@ -402,13 +411,18 @@ fn run_scenario(seed: u64) -> Vec<String> {
         Duration::from_secs(600)
     };
 
-    let service = Arc::new(Service::new(StoreConfig {
-        max_sessions: STORE_CAP,
-        ttl: Some(ttl),
-    }));
-    let pool = Arc::new(ThreadPool::new(2, 16));
-    let log = EventLog::new();
+    // The service shares the scenario's virtual clock, so the timing
+    // fields in `stats` responses are deterministic (see [`Op`]).
     let clock = VirtualClock::new();
+    let service = Arc::new(Service::with_clock(
+        StoreConfig {
+            max_sessions: STORE_CAP,
+            ttl: Some(ttl),
+        },
+        Arc::new(clock.clone()),
+    ));
+    let pool = Arc::new(ThreadPool::new(2, 16));
+    let log = EventLog::with_tracer(service.tracer().clone());
 
     let mut clients: Vec<ChaosClient> = Vec::new();
     let mut trace = vec![format!("scenario seed={seed} clients={n_clients} mode={mode}")];
@@ -690,10 +704,9 @@ fn client_hangup_mid_frame_never_executes_the_partial_request() {
     pool.shutdown();
 }
 
-/// `stats` is excluded from the traced workload (its response length is
-/// wall-clock dependent), so cover it here: queried through a torn,
-/// stalled transport it must still answer well-formed with the right
-/// session count.
+/// `stats` through a byte-by-byte torn, stalled transport must still
+/// answer well-formed with the right session count (the seeded
+/// scenarios mix `stats` in too, but under gentler tearing).
 #[test]
 fn stats_under_torn_frames_is_well_formed() {
     let service = Arc::new(Service::new(StoreConfig::default()));

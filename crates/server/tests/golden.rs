@@ -1,10 +1,11 @@
 //! Golden request/response fixtures for every protocol verb.
 //!
-//! The transcript below drives one service through all 20 verbs
+//! The transcript below drives one service through all 22 verbs
 //! ([`sit_server::proto::VERBS`]) with byte-exact expected responses
-//! (the `stats` response carries wall-clock fields and is checked
-//! structurally instead). If a protocol change alters any frame, this
-//! test names the verb and shows both lines — update deliberately.
+//! (the `stats`, `metrics_text`, and `trace_dump` responses carry
+//! wall-clock timings and are checked structurally instead). If a
+//! protocol change alters any frame, this test names the verb and shows
+//! both lines — update deliberately.
 
 use sit_server::service::Service;
 use sit_server::store::StoreConfig;
@@ -13,8 +14,8 @@ use sit_server::wire::Json;
 const DDL1: &str = "schema sc1 { entity Student { Name: char key; GPA: real; } entity Department { Dname: char key; } relationship Majors { Student (0,1); Department (0,n); } }";
 const DDL2: &str = "schema sc2 { entity Grad_student { Name: char key; GPA: real; } entity Department { Dname: char key; } relationship Majors { Grad_student (0,1); Department (0,n); } }";
 
-/// `(verb, request frame, expected response frame)`; `@stats` marks the
-/// structurally-checked response.
+/// `(verb, request frame, expected response frame)`; `@stats`,
+/// `@metrics_text`, and `@trace` mark structurally-checked responses.
 const TRANSCRIPT: &[(&str, &str, &str)] = &[
     ("ping", r#"{"op":"ping"}"#, r#"{"ok":true,"pong":true}"#),
     ("open", r#"{"op":"open"}"#, r#"{"ok":true,"session":"1"}"#),
@@ -38,6 +39,8 @@ const TRANSCRIPT: &[(&str, &str, &str)] = &[
     ("load", r#"{"op":"load","script":"schema tiny { entity Only { id: int key; } }"}"#, r#"{"ok":true,"session":"2","schemas":["tiny"]}"#),
     ("close", r#"{"op":"close","session":"2"}"#, r#"{"ok":true,"closed":true}"#),
     ("stats", r#"{"op":"stats"}"#, "@stats"),
+    ("metrics_text", r#"{"op":"metrics_text"}"#, "@metrics_text"),
+    ("trace_dump", r#"{"op":"trace_dump","limit":64}"#, "@trace"),
     ("shutdown", r#"{"op":"shutdown"}"#, r#"{"ok":true,"draining":true}"#),
 ];
 
@@ -69,6 +72,36 @@ fn transcript_matches_goldens() {
             assert_eq!(ping.get("count").and_then(Json::as_num), Some(1.0));
             assert!(v.get("uptime_ms").and_then(Json::as_num).is_some());
             assert_eq!(v.get("sessions").and_then(Json::as_num), Some(1.0));
+            continue;
+        }
+        if *expected == "@metrics_text" {
+            let v = Json::parse(&response).expect("metrics_text parses");
+            assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{response}");
+            let text = v.get("text").and_then(Json::as_str).expect("text field");
+            assert!(text.contains("# TYPE sit_requests_total counter"), "{text}");
+            assert!(text.contains("sit_requests_total{verb=\"ping\"} 1"), "{text}");
+            assert!(
+                text.contains("sit_request_latency_ns_bucket{verb=\"integrate\",le="),
+                "{text}"
+            );
+            continue;
+        }
+        if *expected == "@trace" {
+            let v = Json::parse(&response).expect("trace_dump parses");
+            assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "{response}");
+            let trace = v.get("trace").and_then(Json::as_str).expect("trace field");
+            let chrome = Json::parse(trace).expect("trace is valid JSON");
+            let events = chrome
+                .get("traceEvents")
+                .and_then(Json::as_arr)
+                .expect("traceEvents array");
+            assert!(!events.is_empty(), "trace has events");
+            let names: Vec<&str> = events
+                .iter()
+                .filter_map(|e| e.get("name").and_then(Json::as_str))
+                .collect();
+            assert!(names.contains(&"request"), "{names:?}");
+            assert!(names.contains(&"dispatch"), "{names:?}");
             continue;
         }
         let expected = substitute(expected);

@@ -32,6 +32,7 @@ ALLOWED = {
     "sit-datagen",
     "sit-ecr",
     "sit-matcher",
+    "sit-obs",
     "sit-prng",
     "sit-server",
     "sit-translate",
@@ -60,6 +61,47 @@ names = sorted(p["name"] for p in meta["packages"])
 print(f"ok: {len(names)} workspace crates, no external deps: {', '.join(names)}")
 EOF
 
+echo "== no stray println!/eprintln! outside bin targets, the bench harness, and sit-obs =="
+# Library code reports through sit-obs (spans, counters, histograms) or
+# returns values — printing belongs to binaries (src/bin), the bench
+# harness's table output, and the obs crate itself.
+if grep -rn 'println!\|eprintln!' src crates/*/src --include='*.rs' \
+    | grep -v '^src/bin/' | grep -v '^crates/bench/' | grep -v '^crates/obs/'; then
+  echo "FAIL: stray print in library code (route it through sit-obs or return it)" >&2
+  exit 1
+fi
+echo "ok: library crates are print-free"
+
+echo "== traced smoke session (sit trace -> Chrome trace JSON) =="
+trace_json="$(mktemp)"
+trap 'rm -f "$meta_json" "$trace_json"' EXIT
+./target/release/sit trace "$trace_json" | sed 's/^/  /'
+python3 - "$trace_json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as fh:
+    trace = json.load(fh)
+events = trace["traceEvents"]
+assert events, "exported trace has no events"
+for e in events:
+    assert e["ph"] in ("X", "i"), e
+    assert isinstance(e["ts"], (int, float)), e
+    assert e["pid"] == 1, e
+    if e["ph"] == "X":
+        assert isinstance(e["dur"], (int, float)), e
+names = {e["name"] for e in events}
+needed = [
+    # request lifecycle (server layer)
+    "request", "parse", "dispatch", "encode",
+    # engine phases (core layer)
+    "session.add_schema", "acs.declare_equivalent", "ocs.ranked_pairs",
+    "closure.assert", "integrate", "integrate.lattice", "integrate.rels",
+]
+missing = [n for n in needed if n not in names]
+assert not missing, f"trace is missing spans: {missing}"
+print(f"ok: {len(events)} events, all lifecycle + engine spans present")
+EOF
+
 echo "== chaos determinism (fixed seeds 101-124, cross-process trace diff) =="
 # The suite itself runs every seed twice in-process and asserts the
 # traces match; here we additionally run the whole suite in two separate
@@ -68,7 +110,7 @@ echo "== chaos determinism (fixed seeds 101-124, cross-process trace diff) =="
 # thread scheduling) that an in-process comparison could mask.
 chaos_a="$(mktemp)"
 chaos_b="$(mktemp)"
-trap 'rm -f "$meta_json" "$chaos_a" "$chaos_b"' EXIT
+trap 'rm -f "$meta_json" "$trace_json" "$chaos_a" "$chaos_b"' EXIT
 for dump in "$chaos_a" "$chaos_b"; do
   SIT_CHAOS_TRACE="$dump" cargo test -q --release -p sit-server --test chaos \
     chaos_scenarios_are_deterministic_and_hold_invariants -- --exact >/dev/null
@@ -87,7 +129,7 @@ serve_log="$(mktemp)"
 serve_pid=$!
 cleanup_server() {
   kill "$serve_pid" 2>/dev/null || true
-  rm -f "$serve_log" "$meta_json" "$chaos_a" "$chaos_b"
+  rm -f "$serve_log" "$meta_json" "$trace_json" "$chaos_a" "$chaos_b"
 }
 trap cleanup_server EXIT
 
@@ -105,6 +147,7 @@ smoke_out="$(./target/release/sit client "127.0.0.1:$port" <<'REQS'
 {"op":"load","script":"schema s1 { entity Student { Name: char key; } }\nschema s2 { entity Pupil { Name: char key; } }\nequiv s1.Student.Name = s2.Pupil.Name;\nassert s1.Student equals s2.Pupil;"}
 {"op":"integrate","session":"1","a":"s1","b":"s2"}
 {"op":"stats"}
+{"op":"metrics_text"}
 {"op":"shutdown"}
 REQS
 )"
@@ -113,6 +156,8 @@ echo "$smoke_out" | grep -q '"pong":true' \
   || { echo "FAIL: no pong from server" >&2; exit 1; }
 echo "$smoke_out" | grep -q '"ok":true,"schema":' \
   || { echo "FAIL: integrate over the wire failed" >&2; exit 1; }
+echo "$smoke_out" | grep -q 'sit_requests_total' \
+  || { echo "FAIL: metrics_text exposition missing over the wire" >&2; exit 1; }
 echo "$smoke_out" | grep -q '"draining":true' \
   || { echo "FAIL: shutdown not acknowledged" >&2; exit 1; }
 

@@ -15,6 +15,10 @@
 //! sit client ADDR [--timeout-ms N] [--retries N]
 //!                                   pipe request lines to a running
 //!                                   server; exits 2 on typed error frames
+//! sit trace OUT.json [--load FILE]  run an integration session in-process
+//!                                   and export its span trace as Chrome
+//!                                   trace-event JSON (chrome://tracing,
+//!                                   Perfetto)
 //! ```
 //!
 //! Event files for `--script`: one event per line — `key <chars>` sends
@@ -125,6 +129,15 @@ sit - interactive schema integration (ICDE 1988 reproduction)
                                     socket timeout. Exits 2 (with the
                                     error code on stderr) if any response
                                     was a typed error frame
+  sit trace OUT.json [--load FILE]  drive an integration session through
+                                    an in-process service and write the
+                                    span trace as Chrome trace-event
+                                    JSON, viewable in chrome://tracing or
+                                    Perfetto. Without --load it runs the
+                                    built-in two-schema demo (all four
+                                    phases); --load (repeatable) traces
+                                    loading the given session scripts
+                                    instead
 ";
 
 fn main() {
@@ -141,6 +154,7 @@ fn run() -> Result<(), String> {
     match argv.next().as_deref() {
         Some("serve") => return serve(argv),
         Some("client") => return client(argv),
+        Some("trace") => return trace(argv),
         _ => {}
     }
     let args = parse_args()?;
@@ -328,9 +342,12 @@ fn client(mut argv: impl Iterator<Item = String>) -> Result<(), String> {
         }
         // Typed requests go through the retry/backoff path (idempotent
         // verbs only); anything unparsable is sent raw so the server
-        // answers with its typed parse error.
+        // answers with its typed parse error. Frames carrying a
+        // `trace_id` also go raw: the typed re-encode would drop the
+        // field before the server could attach it to the request span.
         let request = Json::parse(&line)
             .ok()
+            .filter(|v| v.get("trace_id").is_none())
             .and_then(|v| Request::from_json(&v).ok());
         let response = match request {
             Some(req) => client
@@ -349,6 +366,86 @@ fn client(mut argv: impl Iterator<Item = String>) -> Result<(), String> {
         std::process::exit(2);
     }
     Ok(())
+}
+
+/// `sit trace`: drive a session through an in-process [`Service`] and
+/// export its span ring as Chrome trace-event JSON.
+///
+/// The default workload is the paper's two-schema demo end to end
+/// (collection, equivalences, candidate ranking, assertions, matrix,
+/// integration with mappings, save), so the exported timeline shows the
+/// request lifecycle spans nesting the engine phases.
+fn trace(mut argv: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut out: Option<String> = None;
+    let mut load: Vec<String> = Vec::new();
+    while let Some(a) = argv.next() {
+        let mut need = |what: &str| argv.next().ok_or(format!("{what} needs a value"));
+        match a.as_str() {
+            "--load" => load.push(need("--load")?),
+            other if out.is_none() && !other.starts_with('-') => out = Some(other.to_owned()),
+            other => return Err(format!("unknown `trace` argument `{other}`")),
+        }
+    }
+    let out = out.ok_or("trace needs an OUT.json argument")?;
+
+    let frames = if load.is_empty() {
+        demo_frames()
+    } else {
+        let mut frames = Vec::new();
+        for path in &load {
+            let script = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            frames.push(Request::Load { script }.to_json().encode());
+        }
+        frames.push(r#"{"op":"stats"}"#.to_owned());
+        frames
+    };
+
+    let service = sit::server::Service::new(sit::server::StoreConfig::default());
+    let mut errors = 0usize;
+    for frame in &frames {
+        let response = service.handle_line(frame).frame;
+        if let Some(code) = Json::parse(&response).ok().as_ref().and_then(error_code) {
+            errors += 1;
+            eprintln!("sit trace: server error `{code}` for {frame}");
+        }
+    }
+    let tracer = service.tracer();
+    let events = tracer.len();
+    std::fs::write(&out, tracer.export_chrome()).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "trace: {events} span events ({} dropped) from {} requests -> {out}",
+        tracer.dropped(),
+        frames.len()
+    );
+    if errors > 0 {
+        return Err(format!("{errors} request(s) answered with a typed error"));
+    }
+    Ok(())
+}
+
+/// The built-in `sit trace` workload: the ICDE 1988 running example
+/// through every phase, as wire frames.
+fn demo_frames() -> Vec<String> {
+    const DDL1: &str = "schema sc1 { entity Student { Name: char key; GPA: real; } entity Department { Dname: char key; } relationship Majors { Student (0,1); Department (0,n); } }";
+    const DDL2: &str = "schema sc2 { entity Grad_student { Name: char key; GPA: real; } entity Department { Dname: char key; } relationship Majors { Grad_student (0,1); Department (0,n); } }";
+    vec![
+        r#"{"op":"ping"}"#.to_owned(),
+        r#"{"op":"open"}"#.to_owned(),
+        format!(r#"{{"op":"add_schema","session":"1","ddl":"{DDL1}"}}"#),
+        format!(r#"{{"op":"add_schema","session":"1","ddl":"{DDL2}"}}"#),
+        r#"{"op":"equiv","session":"1","a":"sc1.Student.Name","b":"sc2.Grad_student.Name"}"#.to_owned(),
+        r#"{"op":"equiv","session":"1","a":"sc1.Department.Dname","b":"sc2.Department.Dname"}"#.to_owned(),
+        r#"{"op":"candidates","session":"1","a":"sc1","b":"sc2"}"#.to_owned(),
+        r#"{"op":"rel_candidates","session":"1","a":"sc1","b":"sc2"}"#.to_owned(),
+        r#"{"op":"assert","session":"1","a":"sc1.Department","b":"sc2.Department","assertion":"equals"}"#.to_owned(),
+        r#"{"op":"assert","session":"1","a":"sc1.Student","b":"sc2.Grad_student","assertion":"contains"}"#.to_owned(),
+        r#"{"op":"rel_assert","session":"1","a":"sc1.Majors","b":"sc2.Majors","assertion":"equals"}"#.to_owned(),
+        r#"{"op":"matrix","session":"1","a":"sc1","b":"sc2"}"#.to_owned(),
+        r#"{"op":"integrate","session":"1","a":"sc1","b":"sc2","pull_up":false,"mappings":true}"#.to_owned(),
+        r#"{"op":"save","session":"1"}"#.to_owned(),
+        r#"{"op":"stats"}"#.to_owned(),
+        r#"{"op":"metrics_text"}"#.to_owned(),
+    ]
 }
 
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {

@@ -22,6 +22,9 @@
 //! * [`server`] — integration sessions as a service: a newline-delimited
 //!   JSON protocol over TCP or stdio (`sit serve`), with a session store,
 //!   a bounded worker pool, and per-verb latency metrics.
+//! * [`obs`] — std-only observability: lock-cheap span tracing with
+//!   Chrome trace-event export (`sit trace`), base-2 histograms and
+//!   counters with Prometheus text exposition, and injectable clocks.
 //!
 //! Start with [`core::session::Session`] for programmatic integration or
 //! [`tui::App`] for the interactive tool; `examples/quickstart.rs` walks
@@ -31,6 +34,7 @@ pub use sit_core as core;
 pub use sit_datagen as datagen;
 pub use sit_ecr as ecr;
 pub use sit_matcher as matcher;
+pub use sit_obs as obs;
 pub use sit_server as server;
 pub use sit_translate as translate;
 pub use sit_tui as tui;

@@ -224,6 +224,22 @@ fn client_exits_zero_on_success_frames() {
 }
 
 #[test]
+fn client_passes_trace_ids_through_to_the_server_span() {
+    let server = ServeProc::start();
+    // The frame must reach the server verbatim: the client's typed
+    // retry path re-encodes requests, which would drop `trace_id`.
+    let (stdout, _, code) = server.client(
+        &[],
+        "{\"op\":\"ping\",\"trace_id\":\"cli-e2e-42\"}\n{\"op\":\"trace_dump\",\"limit\":64}\n",
+    );
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(
+        stdout.contains("cli-e2e-42"),
+        "trace_id missing from trace_dump: {stdout}"
+    );
+}
+
+#[test]
 fn client_exits_nonzero_on_typed_error_frame() {
     let server = ServeProc::start();
     // unknown_session: the error frame still prints to stdout, the code
