@@ -1,0 +1,182 @@
+//! B10 — the price of durability: mutation throughput under each
+//! journal fsync policy against the in-memory (no persistence)
+//! baseline, and recovery time as a function of journal length.
+//!
+//! All durable variants run over `MemStorage` so the numbers isolate
+//! the persistence *layer* (record encoding, CRC, write-ahead
+//! ordering, policy bookkeeping) from disk hardware; one
+//! `DirStorage` variant is included so the real-fsync cost is on
+//! record too. Snapshots are disabled for the throughput labels
+//! (`snapshot_every: 0`) so every label measures pure journal cost;
+//! the `recover/*` labels measure `Service::with_persistence` doing a
+//! full journal replay through the service's own dispatch.
+
+use std::sync::Arc;
+
+use sit_bench::harness::Bench;
+use sit_datagen::GeneratorConfig;
+use sit_ecr::ddl;
+use sit_obs::clock::MonotonicClock;
+use sit_server::proto::Request;
+use sit_server::storage::{DirStorage, MemStorage, Storage};
+use sit_server::store::StoreConfig;
+use sit_server::{FsyncPolicy, PersistConfig, Service};
+
+const MUTATIONS: usize = 64;
+
+/// Production-shaped inputs: the same generated schema family the
+/// concurrency and chaos suites use (6 objects, 2 relationships per
+/// schema), so each journaled verb carries a realistic engine cost —
+/// measuring the journal against toy two-entity schemas would
+/// overstate its relative overhead.
+struct Workload {
+    ddl_a: String,
+    ddl_b: String,
+    equiv: String,
+    unequiv: String,
+}
+
+fn workload() -> Workload {
+    let pair = GeneratorConfig {
+        seed: 0,
+        objects_per_schema: 6,
+        relationships_per_schema: 2,
+        ..Default::default()
+    }
+    .generate_pair();
+    let (oa, aa, ob, ab) = pair.truth.attr_pairs[0].clone();
+    let (na, nb) = (pair.a.name().to_owned(), pair.b.name().to_owned());
+    let a = format!("{na}.{oa}.{aa}");
+    let b = format!("{nb}.{ob}.{ab}");
+    Workload {
+        ddl_a: ddl::print(&pair.a),
+        ddl_b: ddl::print(&pair.b),
+        equiv: Request::Equiv {
+            session: "1".into(),
+            a: a.clone(),
+            b: b.clone(),
+        }
+        .to_json()
+        .encode(),
+        unequiv: Request::Unequiv {
+            session: "1".into(),
+            a,
+        }
+        .to_json()
+        .encode(),
+    }
+}
+
+fn durable(storage: Arc<dyn Storage>, fsync: FsyncPolicy) -> Service {
+    Service::with_persistence(
+        StoreConfig::default(),
+        Arc::new(MonotonicClock::new()),
+        storage,
+        PersistConfig {
+            fsync,
+            snapshot_every: 0,
+        },
+    )
+    .expect("recovery over fresh storage")
+}
+
+fn ack(service: &Service, frame: &str) {
+    let out = service.handle_line(frame).frame;
+    assert!(out.contains("\"ok\":true"), "{frame} -> {out}");
+}
+
+/// Open a session and load the two bench schemas.
+fn prime(service: &Service, w: &Workload) {
+    ack(service, r#"{"op":"open"}"#);
+    let add = |ddl: &str| {
+        Request::AddSchema {
+            session: "1".into(),
+            ddl: ddl.into(),
+        }
+        .to_json()
+        .encode()
+    };
+    ack(service, &add(&w.ddl_a));
+    ack(service, &add(&w.ddl_b));
+}
+
+/// The measured unit: `MUTATIONS` journaled verbs (equiv/unequiv
+/// pairs, so session state stays bounded across samples).
+fn mutate(service: &Service, w: &Workload) {
+    for _ in 0..MUTATIONS / 2 {
+        ack(service, &w.equiv);
+        ack(service, &w.unequiv);
+    }
+}
+
+/// A MemStorage holding one session whose journal has `records`
+/// equiv/unequiv entries (plus the two add_schema records).
+fn journal_of(records: usize, w: &Workload) -> Arc<MemStorage> {
+    let mem = Arc::new(MemStorage::new());
+    let service = durable(Arc::clone(&mem) as Arc<dyn Storage>, FsyncPolicy::Never);
+    prime(&service, w);
+    for _ in 0..records / 2 {
+        ack(&service, &w.equiv);
+        ack(&service, &w.unequiv);
+    }
+    mem
+}
+
+fn main() {
+    let mut bench = Bench::new("persist").with_counts(3, 30);
+    let w = workload();
+
+    bench.run_with_setup(
+        format!("mutate_x{MUTATIONS}/baseline_no_persist"),
+        || {
+            let service = Service::new(StoreConfig::default());
+            prime(&service, &w);
+            service
+        },
+        |service| mutate(&service, &w),
+    );
+    for (label, fsync) in [
+        ("fsync_never", FsyncPolicy::Never),
+        ("fsync_every_8", FsyncPolicy::EveryN(8)),
+        ("fsync_always", FsyncPolicy::Always),
+    ] {
+        bench.run_with_setup(
+            format!("mutate_x{MUTATIONS}/mem_{label}"),
+            || {
+                let service = durable(Arc::new(MemStorage::new()), fsync);
+                prime(&service, &w);
+                service
+            },
+            |service| mutate(&service, &w),
+        );
+    }
+
+    // Real directory, real fsync: the honest price of `--fsync always`
+    // on actual hardware.
+    let dir = std::env::temp_dir().join(format!("sit_bench_persist_{}", std::process::id()));
+    bench.run_with_setup(
+        format!("mutate_x{MUTATIONS}/dir_fsync_always"),
+        || {
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).expect("bench data dir");
+            let storage = DirStorage::open(&dir).expect("open bench dir");
+            let service = durable(Arc::new(storage), FsyncPolicy::Always);
+            prime(&service, &w);
+            service
+        },
+        |service| mutate(&service, &w),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Recovery cost vs journal length: a fresh service over an
+    // existing journal replays every record through dispatch.
+    for records in [100usize, 400, 1600] {
+        bench.run_with_setup(
+            format!("recover/records_{records}"),
+            || journal_of(records, &w),
+            |mem| durable(mem as Arc<dyn Storage>, FsyncPolicy::Never),
+        );
+    }
+
+    bench.finish().expect("write BENCH_persist.json");
+}

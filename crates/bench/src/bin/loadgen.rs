@@ -173,6 +173,7 @@ fn main() {
             max_sessions: clients * 2 + 8,
             ..Default::default()
         },
+        persist: None,
     };
     let handle = Server::bind("127.0.0.1:0", config)
         .expect("bind loopback")

@@ -29,6 +29,7 @@ use sit_obs::sync::lock_recover;
 use sit_obs::trace::Tracer;
 use sit_prng::Xoshiro256pp;
 
+use crate::storage::Storage;
 use crate::transport::{Interrupter, Transport};
 
 /// Milliseconds of simulated time, advanced only by injected delays.
@@ -116,6 +117,27 @@ pub enum FaultEvent {
         /// Cumulative outbound byte offset where the cut fell.
         at: u64,
     },
+    /// A storage write was torn: only a prefix of the record reached
+    /// `file` before the crash point.
+    StorageTorn {
+        /// Storage file name that received the partial write.
+        file: String,
+        /// Cumulative storage byte offset where the tear fell.
+        at: u64,
+    },
+    /// A transient short write: a prefix persisted, the call errored,
+    /// and the process kept running (the repair path's trigger).
+    StorageShort {
+        /// Storage file name that received the partial write.
+        file: String,
+        /// Cumulative storage byte offset where the short write fell.
+        at: u64,
+    },
+    /// The simulated process died: every later storage call fails.
+    StorageCrash {
+        /// Cumulative storage byte offset of the crash point.
+        at: u64,
+    },
 }
 
 impl fmt::Display for FaultEvent {
@@ -131,6 +153,13 @@ impl fmt::Display for FaultEvent {
                 write!(f, "c{conn} write.delay@{at}+{ms}ms")
             }
             FaultEvent::WriteDrop { conn, at } => write!(f, "c{conn} write.drop@{at}"),
+            FaultEvent::StorageTorn { ref file, at } => {
+                write!(f, "storage.torn@{at} {file}")
+            }
+            FaultEvent::StorageShort { ref file, at } => {
+                write!(f, "storage.short@{at} {file}")
+            }
+            FaultEvent::StorageCrash { at } => write!(f, "storage.crash@{at}"),
         }
     }
 }
@@ -452,6 +481,182 @@ impl<T: Transport> Transport for FaultedTransport<T> {
     }
 }
 
+/// Knobs for a [`FaultedStorage`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StorageFaultConfig {
+    /// Crash once cumulative written bytes *exceed* this budget: a
+    /// record ending exactly at the budget persists in full (and a
+    /// later fsync succeeds), one byte more tears it at the boundary.
+    /// `None` never crashes.
+    pub crash_after_bytes: Option<u64>,
+    /// When a `write_atomic` crosses the crash budget: `true` promotes
+    /// the torn prefix to the real name (a filesystem that renamed a
+    /// partially-written temp file), `false` leaves the old contents
+    /// untouched (rename never happened).
+    pub atomic_tear: bool,
+    /// Probability (0–100) that an append persists only a seeded prefix
+    /// and errors *without* crashing — the transient short write the
+    /// repair path must clean up.
+    pub short_write_percent: u32,
+    /// Seed for the short-write schedule.
+    pub seed: u64,
+}
+
+/// Seeded fault decorator over any [`Storage`]: deterministic torn
+/// writes, transient short writes, and a byte-offset crash point.
+///
+/// After the crash fires every call returns an error — the simulated
+/// process is dead. Recovery code talks to the *inner* storage
+/// directly, exactly like a restarted process reopening the directory.
+pub struct FaultedStorage {
+    inner: Arc<dyn Storage>,
+    cfg: StorageFaultConfig,
+    rng: Mutex<Xoshiro256pp>,
+    written: AtomicU64,
+    crashed: std::sync::atomic::AtomicBool,
+    log: EventLog,
+}
+
+impl FaultedStorage {
+    /// Wrap `inner` with the fault schedule in `cfg`.
+    pub fn new(inner: Arc<dyn Storage>, cfg: StorageFaultConfig, log: EventLog) -> FaultedStorage {
+        FaultedStorage {
+            inner,
+            cfg,
+            rng: Mutex::new(Xoshiro256pp::seed_from_u64(cfg.seed)),
+            written: AtomicU64::new(0),
+            crashed: std::sync::atomic::AtomicBool::new(false),
+            log,
+        }
+    }
+
+    /// Cumulative bytes accepted by the inner storage — run a workload
+    /// once with no crash point to learn the sweep budget.
+    pub fn bytes_written(&self) -> u64 {
+        self.written.load(Ordering::SeqCst)
+    }
+
+    /// Whether the crash point has fired.
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    fn dead() -> io::Error {
+        io::Error::new(io::ErrorKind::Other, "storage crashed by fault plan")
+    }
+
+    fn check_alive(&self) -> io::Result<()> {
+        if self.crashed() {
+            Err(Self::dead())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Bytes of `len` that fit under the crash budget, or `None` when
+    /// the whole write fits.
+    fn tear_point(&self, len: usize) -> Option<usize> {
+        let budget = self.cfg.crash_after_bytes?;
+        let so_far = self.written.load(Ordering::SeqCst);
+        if so_far + len as u64 <= budget {
+            None
+        } else {
+            Some((budget.saturating_sub(so_far)) as usize)
+        }
+    }
+}
+
+impl Storage for FaultedStorage {
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        self.check_alive()?;
+        if let Some(keep) = self.tear_point(data.len()) {
+            // Crash point: a torn prefix lands, then the process dies.
+            if keep > 0 {
+                self.inner.append(name, &data[..keep])?;
+                self.written.fetch_add(keep as u64, Ordering::SeqCst);
+                self.log.push(FaultEvent::StorageTorn {
+                    file: name.to_owned(),
+                    at: self.written.load(Ordering::SeqCst),
+                });
+            }
+            self.crashed.store(true, Ordering::SeqCst);
+            self.log.push(FaultEvent::StorageCrash {
+                at: self.written.load(Ordering::SeqCst),
+            });
+            return Err(Self::dead());
+        }
+        if !data.is_empty() && self.cfg.short_write_percent > 0 {
+            let short = {
+                let mut rng = lock_recover(&self.rng);
+                rng.gen_bool(f64::from(self.cfg.short_write_percent.min(100)) / 100.0)
+                    .then(|| rng.gen_range(0..data.len()))
+            };
+            if let Some(keep) = short {
+                if keep > 0 {
+                    self.inner.append(name, &data[..keep])?;
+                    self.written.fetch_add(keep as u64, Ordering::SeqCst);
+                }
+                self.log.push(FaultEvent::StorageShort {
+                    file: name.to_owned(),
+                    at: self.written.load(Ordering::SeqCst),
+                });
+                return Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "short write injected by fault plan",
+                ));
+            }
+        }
+        self.inner.append(name, data)?;
+        self.written.fetch_add(data.len() as u64, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn sync(&self, name: &str) -> io::Result<()> {
+        // fsync moves no bytes: it only fails once the process is dead.
+        self.check_alive()?;
+        self.inner.sync(name)
+    }
+
+    fn write_atomic(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        self.check_alive()?;
+        if let Some(keep) = self.tear_point(data.len()) {
+            if self.cfg.atomic_tear {
+                // Model a torn temp file that still got renamed into
+                // place: the partial contents are visible at recovery.
+                self.inner.write_atomic(name, &data[..keep])?;
+                self.written.fetch_add(keep as u64, Ordering::SeqCst);
+                self.log.push(FaultEvent::StorageTorn {
+                    file: name.to_owned(),
+                    at: self.written.load(Ordering::SeqCst),
+                });
+            }
+            self.crashed.store(true, Ordering::SeqCst);
+            self.log.push(FaultEvent::StorageCrash {
+                at: self.written.load(Ordering::SeqCst),
+            });
+            return Err(Self::dead());
+        }
+        self.inner.write_atomic(name, data)?;
+        self.written.fetch_add(data.len() as u64, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.check_alive()?;
+        self.inner.read(name)
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        self.check_alive()?;
+        self.inner.remove(name)
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        self.check_alive()?;
+        self.inner.list()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -560,6 +765,94 @@ mod tests {
         drop(faulted);
         let got = drain(&mut client_side);
         assert_eq!(got, b"a full", "peer saw the truncated prefix only");
+    }
+
+    #[test]
+    fn storage_crash_fires_strictly_after_the_budget() {
+        use crate::storage::MemStorage;
+        // Budget exactly equal to one append: the append fully
+        // persists and the *next* byte crashes.
+        let inner = Arc::new(MemStorage::new());
+        let cfg = StorageFaultConfig {
+            crash_after_bytes: Some(5),
+            ..StorageFaultConfig::default()
+        };
+        let log = EventLog::new();
+        let faulted = FaultedStorage::new(inner.clone() as Arc<dyn Storage>, cfg, log.clone());
+        faulted.append("j", b"12345").unwrap();
+        faulted.sync("j").unwrap();
+        assert!(!faulted.crashed());
+        let err = faulted.append("j", b"6").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        assert!(faulted.crashed());
+        assert!(faulted.sync("j").is_err(), "dead process cannot fsync");
+        assert_eq!(inner.read("j").unwrap(), b"12345");
+        assert!(log
+            .snapshot()
+            .iter()
+            .any(|e| matches!(e, FaultEvent::StorageCrash { at: 5 })));
+    }
+
+    #[test]
+    fn storage_crash_mid_record_leaves_a_torn_prefix() {
+        use crate::storage::MemStorage;
+        let inner = Arc::new(MemStorage::new());
+        let cfg = StorageFaultConfig {
+            crash_after_bytes: Some(3),
+            ..StorageFaultConfig::default()
+        };
+        let log = EventLog::new();
+        let faulted = FaultedStorage::new(inner.clone() as Arc<dyn Storage>, cfg, log.clone());
+        assert!(faulted.append("j", b"abcdef").is_err());
+        assert_eq!(inner.read("j").unwrap(), b"abc", "prefix up to the budget");
+        let events: Vec<String> = log.snapshot().iter().map(ToString::to_string).collect();
+        assert_eq!(events, vec!["storage.torn@3 j", "storage.crash@3"]);
+    }
+
+    #[test]
+    fn atomic_tear_flag_controls_torn_snapshot_visibility() {
+        use crate::storage::MemStorage;
+        for tear in [false, true] {
+            let inner = Arc::new(MemStorage::new());
+            inner.write_atomic("s", b"old").unwrap();
+            let cfg = StorageFaultConfig {
+                crash_after_bytes: Some(4),
+                atomic_tear: tear,
+                ..StorageFaultConfig::default()
+            };
+            let faulted =
+                FaultedStorage::new(inner.clone() as Arc<dyn Storage>, cfg, EventLog::new());
+            assert!(faulted.write_atomic("s", b"new-contents").is_err());
+            let got = inner.read("s").unwrap();
+            if tear {
+                assert_eq!(got, b"new-", "torn prefix promoted to the real name");
+            } else {
+                assert_eq!(got, b"old", "rename never happened");
+            }
+        }
+    }
+
+    #[test]
+    fn short_writes_persist_a_prefix_and_do_not_crash() {
+        use crate::storage::MemStorage;
+        let inner = Arc::new(MemStorage::new());
+        let cfg = StorageFaultConfig {
+            short_write_percent: 100,
+            seed: 11,
+            ..StorageFaultConfig::default()
+        };
+        let log = EventLog::new();
+        let faulted = FaultedStorage::new(inner.clone() as Arc<dyn Storage>, cfg, log.clone());
+        let err = faulted.append("j", b"0123456789").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        assert!(!faulted.crashed(), "short writes are transient");
+        let kept = inner.read("j").unwrap();
+        assert!(kept.len() < 10, "a strict prefix persisted");
+        assert_eq!(&b"0123456789"[..kept.len()], &kept[..]);
+        assert!(log
+            .snapshot()
+            .iter()
+            .any(|e| matches!(e, FaultEvent::StorageShort { .. })));
     }
 
     #[test]

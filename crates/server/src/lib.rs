@@ -8,11 +8,20 @@
 //!
 //! * [`wire`] — a hermetic JSON parser/encoder with depth and size
 //!   limits (the workspace carries no external crates);
-//! * [`proto`] — the request/response vocabulary: 22 verbs covering the
+//! * [`proto`] — the request/response vocabulary: 23 verbs covering the
 //!   whole session façade plus observability (`stats`, `metrics_text`,
-//!   `trace_dump`), typed error codes;
+//!   `trace_dump`, `persist_stats`), typed error codes;
 //! * [`store`] — a bounded [`store::SessionStore`] with LRU + TTL
 //!   eviction and per-session locking;
+//! * [`storage`] — the flat-file storage abstraction under the
+//!   persistence layer: a real directory ([`storage::DirStorage`],
+//!   fsync + atomic-rename discipline) and an in-memory simulation
+//!   ([`storage::MemStorage`]) with an explicit durability watermark;
+//! * [`persist`] — durable sessions: per-session write-ahead journal
+//!   (length-prefixed CRC-32 records, `always`/`every-n`/`never` fsync
+//!   policies), periodic snapshots with journal compaction, and crash
+//!   recovery that replays records through the service's own dispatch
+//!   (`--data-dir`);
 //! * [`pool`] — a fixed worker pool with a bounded queue; a full queue
 //!   rejects with the `overloaded` error instead of blocking;
 //! * [`metrics`] — lock-free per-verb counters and base-2 latency
@@ -25,8 +34,9 @@
 //! * [`transport`] — the byte-stream abstraction the serving loop runs
 //!   on: real TCP and an in-memory simulated connection;
 //! * [`fault`] — seeded, deterministic fault injection over any
-//!   transport (torn frames, stalls, drops, virtual time), the engine of
-//!   the chaos test suite;
+//!   transport (torn frames, stalls, drops, virtual time) and any
+//!   storage (torn writes, short writes, byte-offset crash points),
+//!   the engine of the chaos test suites;
 //! * [`server`] — TCP (`sit serve`) and stdio (`sit serve --stdio`)
 //!   serving with graceful draining shutdown, generic over [`transport`];
 //! * [`client`] — the blocking client used by `sit client`, the tests,
@@ -56,17 +66,23 @@
 pub mod client;
 pub mod fault;
 pub mod metrics;
+pub mod persist;
 pub mod pool;
 pub mod proto;
 pub mod server;
 pub mod service;
+pub mod storage;
 pub mod store;
 pub mod transport;
 pub mod wire;
 
 pub use client::{error_code, Client, ClientConfig, RetryPolicy};
+pub use persist::{FsyncPolicy, PersistConfig, Persistence};
 pub use proto::{ErrorCode, Request, ServerError};
-pub use server::{serve_connection, serve_stdio, Server, ServerConfig, ServerHandle};
+pub use server::{
+    serve_connection, serve_stdio, PersistOptions, Server, ServerConfig, ServerHandle,
+};
+pub use storage::{DirStorage, MemStorage, Storage};
 pub use transport::{sim_pair, SimConn, TcpTransport, Transport};
 pub use service::Service;
 pub use store::{SessionStore, StoreConfig};

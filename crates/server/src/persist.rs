@@ -1,0 +1,871 @@
+//! Durable sessions: a per-session write-ahead journal, periodic
+//! snapshots, and crash recovery over any [`Storage`].
+//!
+//! ## On-disk layout (one flat directory)
+//!
+//! * `<id>.journal` — append-only records, one per *attempted*
+//!   mutating verb, journaled **before** the verb touches the
+//!   in-memory session (write-ahead). A verb that failed live (e.g. a
+//!   conflicting assert) stays in the journal and fails identically on
+//!   replay — dispatch is deterministic, so the journal needs no
+//!   outcome bit.
+//! * `<id>.snap.<gen>` — snapshot generation `gen`: one record whose
+//!   payload is the [`script::save`] text and whose sequence field is
+//!   the last journal sequence it covers.
+//!
+//! ## Record container
+//!
+//! ```text
+//! | len: u32 le | crc: u32 le | seq: u64 le | payload (len bytes) |
+//! ```
+//!
+//! `crc` is CRC-32 (IEEE) over the seq bytes plus the payload, so a
+//! torn tail, a bit flip, or a stale length all fail closed. Decoding
+//! stops at the first bad record; recovery truncates the tail and
+//! keeps going ("acknowledged ⇒ recovered" never depends on bytes
+//! after a corruption).
+//!
+//! ## Snapshots and compaction
+//!
+//! Every [`PersistConfig::snapshot_every`] journaled records the
+//! session is snapshotted: write `snap.(g+1)` atomically, then rewrite
+//! the journal keeping only records *after the previous generation's*
+//! last sequence, then drop `snap.(g-1)`. Two generations plus that
+//! one-generation journal overlap mean a corrupt newest snapshot (torn
+//! by a crash mid-write) falls back to the older generation with no
+//! acknowledged record lost. Replay skips records at or below the
+//! recovered snapshot's sequence, so crashing between snapshot and
+//! compaction is also safe.
+//!
+//! ## Durability contract
+//!
+//! With `fsync=always`, a mutating verb is acknowledged only after its
+//! journal record is fsynced: acknowledged ⇒ recovered, byte-for-byte
+//! (the crash suite in `tests/crash.rs` sweeps every byte offset).
+//! `every-n` and `never` trade the tail of un-fsynced acknowledgements
+//! for throughput — after power loss the recovered state is a prefix
+//! of the acknowledged history, never a divergent state.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::io;
+use std::sync::{Arc, Mutex};
+
+use sit_core::script;
+use sit_core::session::Session;
+use sit_obs::clock::Clock;
+use sit_obs::metrics::{prom_counter, prom_histogram, Counter, Histogram};
+use sit_obs::sync::lock_recover;
+use sit_obs::trace;
+
+use crate::proto::{ErrorCode, Request, ServerError};
+use crate::storage::Storage;
+use crate::wire::Json;
+
+/// Bytes of fixed header before each record's payload.
+pub const RECORD_HEADER: usize = 16;
+
+/// Largest journal record payload accepted by the decoder (a journal
+/// payload is one request frame, bounded by the wire's 1 MiB line
+/// limit — anything larger is corruption, not data).
+pub const MAX_JOURNAL_PAYLOAD: usize = 2 * 1024 * 1024;
+
+/// Largest snapshot payload accepted (session scripts dwarf single
+/// frames but still bound the decoder against absurd length fields).
+pub const MAX_SNAPSHOT_PAYLOAD: usize = 256 * 1024 * 1024;
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320)
+
+// Slicing-by-8: eight derived tables let the hot loop fold 8 input
+// bytes per iteration instead of 1, which matters because this CRC
+// runs on every journaled request.
+const fn crc32_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+}
+
+static CRC_TABLES: [[u32; 256]; 8] = crc32_tables();
+
+fn crc32_update(mut state: u32, bytes: &[u8]) -> u32 {
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ state;
+        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        state = CRC_TABLES[7][(lo & 0xFF) as usize]
+            ^ CRC_TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[4][(lo >> 24) as usize]
+            ^ CRC_TABLES[3][(hi & 0xFF) as usize]
+            ^ CRC_TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        state = (state >> 8) ^ CRC_TABLES[0][((state ^ u32::from(b)) & 0xFF) as usize];
+    }
+    state
+}
+
+/// CRC-32 of `seq` (little-endian) followed by `payload` — the checksum
+/// each record carries.
+pub fn record_crc(seq: u64, payload: &[u8]) -> u32 {
+    let state = crc32_update(0xFFFF_FFFF, &seq.to_le_bytes());
+    crc32_update(state, payload) ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------
+// Record codec
+
+/// Encode one record in the journal/snapshot container format.
+pub fn encode_record(seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&record_crc(seq, payload).to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// The result of scanning a journal byte string.
+pub struct JournalScan {
+    /// Every intact `(seq, payload)` record, in file order.
+    pub records: Vec<(u64, Vec<u8>)>,
+    /// Bytes covered by those records — a torn tail starts here.
+    pub consumed: usize,
+    /// Bytes after `consumed` (0 on a clean journal).
+    pub trailing: usize,
+}
+
+/// Decode records until the bytes run out or a record fails its
+/// length bound or checksum. Never panics on arbitrary input.
+pub fn decode_records(bytes: &[u8], max_payload: usize) -> JournalScan {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    while bytes.len() - at >= RECORD_HEADER {
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("4 bytes"));
+        let seq = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().expect("8 bytes"));
+        if len > max_payload || bytes.len() - at - RECORD_HEADER < len {
+            break; // absurd length or torn tail
+        }
+        let payload = &bytes[at + RECORD_HEADER..at + RECORD_HEADER + len];
+        if record_crc(seq, payload) != crc {
+            break; // corrupt record: stop, everything after is suspect
+        }
+        records.push((seq, payload.to_vec()));
+        at += RECORD_HEADER + len;
+    }
+    JournalScan {
+        records,
+        consumed: at,
+        trailing: bytes.len() - at,
+    }
+}
+
+/// Decode a snapshot file: exactly one intact record spanning the whole
+/// file. `None` means the snapshot is torn or corrupt.
+pub fn decode_snapshot(bytes: &[u8]) -> Option<(u64, Vec<u8>)> {
+    let scan = decode_records(bytes, MAX_SNAPSHOT_PAYLOAD);
+    if scan.trailing != 0 || scan.records.len() != 1 {
+        return None;
+    }
+    scan.records.into_iter().next()
+}
+
+// ---------------------------------------------------------------------
+// Configuration
+
+/// When journal appends are made durable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync after every record — acknowledged ⇒ recovered, always.
+    Always,
+    /// fsync after every N records — bounded acknowledged-but-volatile
+    /// tail.
+    EveryN(u32),
+    /// Never fsync explicitly — durability rides on the OS cache.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parse the CLI spelling: `always`, `never`, or `every-N`.
+    pub fn parse(s: &str) -> Option<FsyncPolicy> {
+        match s {
+            "always" => Some(FsyncPolicy::Always),
+            "never" => Some(FsyncPolicy::Never),
+            _ => {
+                let n: u32 = s.strip_prefix("every-")?.parse().ok()?;
+                (n > 0).then_some(FsyncPolicy::EveryN(n))
+            }
+        }
+    }
+}
+
+impl fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsyncPolicy::Always => write!(f, "always"),
+            FsyncPolicy::EveryN(n) => write!(f, "every-{n}"),
+            FsyncPolicy::Never => write!(f, "never"),
+        }
+    }
+}
+
+/// Persistence knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PersistConfig {
+    /// Journal fsync policy.
+    pub fsync: FsyncPolicy,
+    /// Snapshot (and compact) a session every this many journal
+    /// records; 0 disables snapshots (journal-only persistence).
+    pub snapshot_every: u64,
+}
+
+impl Default for PersistConfig {
+    fn default() -> Self {
+        PersistConfig {
+            fsync: FsyncPolicy::Always,
+            snapshot_every: 64,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Metrics
+
+/// Counters and histograms the persistence layer feeds into
+/// `metrics_text` (the `sit_persist_*` / `sit_recover_*` series) and
+/// the `persist_stats` verb.
+#[derive(Default)]
+pub struct PersistMetrics {
+    /// Journal records written (acknowledged appends).
+    pub journal_records: Counter,
+    /// Journal bytes written.
+    pub journal_bytes: Counter,
+    /// Per-record encoded size.
+    pub record_bytes: Histogram,
+    /// Explicit fsyncs issued.
+    pub fsyncs: Counter,
+    /// fsync latency.
+    pub fsync_ns: Histogram,
+    /// Snapshots written.
+    pub snapshots: Counter,
+    /// Journal compactions completed.
+    pub compactions: Counter,
+    /// Storage failures surfaced (append, fsync, snapshot, repair).
+    pub errors: Counter,
+    /// Sessions recovered at startup.
+    pub recovered_sessions: Counter,
+    /// Journal records replayed at startup.
+    pub recovered_records: Counter,
+    /// Torn/corrupt tail bytes truncated at startup.
+    pub recover_truncated_bytes: Counter,
+    /// Corrupt snapshots skipped in favor of older generations.
+    pub recover_skipped_snapshots: Counter,
+    /// Replayed records whose verb returned an error (a verb that
+    /// failed live fails identically on replay — this counts those,
+    /// plus genuinely undecodable payloads).
+    pub replay_errors: Counter,
+    /// Per-session recovery time.
+    pub recover_ns: Histogram,
+}
+
+impl PersistMetrics {
+    /// Append the `sit_persist_*` / `sit_recover_*` Prometheus series.
+    pub fn prometheus(&self, out: &mut String) {
+        let counters: [(&str, &Counter); 10] = [
+            ("sit_persist_journal_records_total", &self.journal_records),
+            ("sit_persist_journal_bytes_total", &self.journal_bytes),
+            ("sit_persist_fsync_total", &self.fsyncs),
+            ("sit_persist_snapshots_total", &self.snapshots),
+            ("sit_persist_compactions_total", &self.compactions),
+            ("sit_persist_errors_total", &self.errors),
+            ("sit_recover_sessions_total", &self.recovered_sessions),
+            ("sit_recover_records_total", &self.recovered_records),
+            (
+                "sit_recover_truncated_bytes_total",
+                &self.recover_truncated_bytes,
+            ),
+            (
+                "sit_recover_skipped_snapshots_total",
+                &self.recover_skipped_snapshots,
+            ),
+        ];
+        for (name, counter) in counters {
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push_str(" counter\n");
+            prom_counter(out, name, "", counter.get());
+        }
+        out.push_str("# TYPE sit_recover_replay_errors_total counter\n");
+        prom_counter(
+            out,
+            "sit_recover_replay_errors_total",
+            "",
+            self.replay_errors.get(),
+        );
+        for (name, h) in [
+            ("sit_persist_record_bytes", &self.record_bytes),
+            ("sit_persist_fsync_ns", &self.fsync_ns),
+            ("sit_recover_ns", &self.recover_ns),
+        ] {
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push_str(" histogram\n");
+            prom_histogram(out, name, "", h);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The persistence manager
+
+/// Per-session journal/snapshot bookkeeping.
+#[derive(Default)]
+struct SessionState {
+    /// Last sequence number assigned (journaled or covered by a
+    /// snapshot).
+    seq: u64,
+    /// Known-good journal length in bytes — the repair truncation
+    /// point after a failed append.
+    good_len: u64,
+    /// Intact records currently in the journal file.
+    journal_records: u64,
+    /// Records journaled since the last snapshot.
+    since_snapshot: u64,
+    /// Records appended since the last fsync (`every-n` bookkeeping).
+    unsynced: u32,
+    /// Latest snapshot generation on disk (0 = none yet).
+    gen: u64,
+    /// The latest snapshot's covered sequence.
+    snap_last_seq: u64,
+    /// Set when storage failed in a way repair could not undo; all
+    /// further mutations on this session are refused rather than
+    /// silently diverging from disk.
+    broken: bool,
+    /// The journal file name, built once on first append instead of
+    /// re-formatted on every write-ahead record.
+    jname: String,
+}
+
+impl SessionState {
+    fn jname(&mut self, id: u64) -> &str {
+        if self.jname.is_empty() {
+            self.jname = journal_name(id);
+        }
+        &self.jname
+    }
+}
+
+fn journal_name(id: u64) -> String {
+    format!("{id}.journal")
+}
+
+fn snap_name(id: u64, gen: u64) -> String {
+    format!("{id}.snap.{gen}")
+}
+
+/// What [`Persistence::recover`] found on disk.
+#[derive(Default)]
+pub struct RecoveryReport {
+    /// Recovered sessions, ascending by id, ready to pin into the
+    /// store.
+    pub sessions: Vec<(u64, Session)>,
+}
+
+/// The journal/snapshot engine for one data directory.
+pub struct Persistence {
+    storage: Arc<dyn Storage>,
+    config: PersistConfig,
+    clock: Arc<dyn Clock>,
+    sessions: Mutex<HashMap<u64, Arc<Mutex<SessionState>>>>,
+    metrics: PersistMetrics,
+}
+
+impl Persistence {
+    /// A manager over `storage`; call [`Persistence::recover`] before
+    /// serving.
+    pub fn new(
+        storage: Arc<dyn Storage>,
+        config: PersistConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Persistence {
+        Persistence {
+            storage,
+            config,
+            clock,
+            sessions: Mutex::new(HashMap::new()),
+            metrics: PersistMetrics::default(),
+        }
+    }
+
+    /// The configured policies.
+    pub fn config(&self) -> &PersistConfig {
+        &self.config
+    }
+
+    /// The persistence metrics (also folded into `metrics_text`).
+    pub fn metrics(&self) -> &PersistMetrics {
+        &self.metrics
+    }
+
+    /// Sessions with persistence state (live or evicted-but-on-disk).
+    pub fn tracked(&self) -> usize {
+        lock_recover(&self.sessions).len()
+    }
+
+    fn state(&self, id: u64) -> Result<Arc<Mutex<SessionState>>, ServerError> {
+        lock_recover(&self.sessions)
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| persist_error(format!("session `{id}` has no persistence state")))
+    }
+
+    /// Create the journal for a fresh session (`open`/`load`), durable
+    /// per the fsync policy.
+    pub fn create_session(&self, id: u64) -> Result<(), ServerError> {
+        let jname = journal_name(id);
+        self.storage
+            .append(&jname, &[])
+            .map_err(|e| persist_io("journal create", &e))?;
+        if self.config.fsync == FsyncPolicy::Always {
+            self.storage
+                .sync(&jname)
+                .map_err(|e| persist_io("journal create fsync", &e))?;
+        }
+        lock_recover(&self.sessions).insert(id, Arc::new(Mutex::new(SessionState::default())));
+        Ok(())
+    }
+
+    /// Write-ahead append: journal one request frame (and fsync per
+    /// policy) *before* the verb is applied. On failure nothing is
+    /// acknowledged: the journal is repaired back to its known-good
+    /// length, or the session is marked broken if even that fails.
+    pub fn append(&self, id: u64, payload: &[u8]) -> Result<(), ServerError> {
+        let state = self.state(id)?;
+        let mut st = lock_recover(&state);
+        if st.broken {
+            return Err(persist_error(
+                "session persistence disabled after an unrecoverable storage failure",
+            ));
+        }
+        let seq = st.seq + 1;
+        let record = encode_record(seq, payload);
+        st.jname(id);
+        {
+            let _span = trace::span("persist.append");
+            if let Err(e) = self.storage.append(&st.jname, &record) {
+                self.metrics.errors.inc();
+                let jname = st.jname.clone();
+                self.repair(&jname, &mut st);
+                return Err(persist_io("journal append", &e));
+            }
+        }
+        st.unsynced += 1;
+        let sync_now = match self.config.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => st.unsynced >= n.max(1),
+            FsyncPolicy::Never => false,
+        };
+        if sync_now {
+            let _span = trace::span("persist.fsync");
+            let t0 = self.clock.now_ns();
+            if let Err(e) = self.storage.sync(&st.jname) {
+                self.metrics.errors.inc();
+                let jname = st.jname.clone();
+                self.repair(&jname, &mut st);
+                return Err(persist_io("journal fsync", &e));
+            }
+            self.metrics.fsyncs.inc();
+            self.metrics
+                .fsync_ns
+                .record(self.clock.now_ns().saturating_sub(t0));
+            st.unsynced = 0;
+        }
+        st.seq = seq;
+        st.good_len += record.len() as u64;
+        st.journal_records += 1;
+        st.since_snapshot += 1;
+        self.metrics.journal_records.inc();
+        self.metrics.journal_bytes.add(record.len() as u64);
+        self.metrics.record_bytes.record(record.len() as u64);
+        Ok(())
+    }
+
+    /// Truncate the journal back to the last acknowledged byte after a
+    /// failed append/fsync, so the file never carries a torn record
+    /// into the *next* append. If the truncation itself fails the
+    /// session is marked broken.
+    fn repair(&self, jname: &str, st: &mut SessionState) {
+        let result = (|| -> io::Result<()> {
+            let data = self.storage.read(jname)?;
+            let good = usize::try_from(st.good_len).unwrap_or(usize::MAX);
+            if data.len() > good {
+                self.storage.write_atomic(jname, &data[..good])?;
+            }
+            Ok(())
+        })();
+        if result.is_err() {
+            st.broken = true;
+            self.metrics.errors.inc();
+        }
+    }
+
+    /// Snapshot + compact if the session has accumulated
+    /// `snapshot_every` records. Never fails the triggering request —
+    /// its record is already durable in the journal — but records
+    /// failures in the metrics.
+    pub fn maybe_snapshot(&self, id: u64, session: &Session) {
+        if self.config.snapshot_every == 0 {
+            return;
+        }
+        let Ok(state) = self.state(id) else { return };
+        let mut st = lock_recover(&state);
+        if st.broken || st.since_snapshot < self.config.snapshot_every {
+            return;
+        }
+        let _span = trace::span("persist.snapshot");
+        let text = script::save(session);
+        let gen = st.gen + 1;
+        let snap = encode_record(st.seq, text.as_bytes());
+        if self.storage.write_atomic(&snap_name(id, gen), &snap).is_err() {
+            self.metrics.errors.inc();
+            return;
+        }
+        // The snapshot is durable; the journal now only *needs* records
+        // after the previous generation (kept so a torn newer snapshot
+        // can fall back one generation without losing anything).
+        let keep_above = st.snap_last_seq;
+        st.gen = gen;
+        st.snap_last_seq = st.seq;
+        st.since_snapshot = 0;
+        self.metrics.snapshots.inc();
+        let jname = journal_name(id);
+        let compacted = (|| -> io::Result<()> {
+            let bytes = match self.storage.read(&jname) {
+                Ok(b) => b,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+                Err(e) => return Err(e),
+            };
+            let scan = decode_records(&bytes, MAX_JOURNAL_PAYLOAD);
+            let mut out = Vec::new();
+            let mut kept = 0u64;
+            for (seq, payload) in &scan.records {
+                if *seq > keep_above {
+                    out.extend_from_slice(&encode_record(*seq, payload));
+                    kept += 1;
+                }
+            }
+            self.storage.write_atomic(&jname, &out)?;
+            st.good_len = out.len() as u64;
+            st.journal_records = kept;
+            st.unsynced = 0;
+            Ok(())
+        })();
+        match compacted {
+            Ok(()) => self.metrics.compactions.inc(),
+            // Journal unchanged (write_atomic is all-or-nothing):
+            // state stays consistent, only compaction was skipped.
+            Err(_) => self.metrics.errors.inc(),
+        }
+        if gen >= 3 {
+            let _ = self.storage.remove(&snap_name(id, gen - 2));
+        }
+    }
+
+    /// Remove every file belonging to `id` (wire `close`). On failure
+    /// the caller must keep the session open — a close acknowledged
+    /// means the files are gone.
+    pub fn remove_session(&self, id: u64) -> Result<(), ServerError> {
+        let prefix = format!("{id}.");
+        let names = self
+            .storage
+            .list()
+            .map_err(|e| persist_io("list for close", &e))?;
+        for name in names.iter().filter(|n| n.starts_with(&prefix)) {
+            self.storage
+                .remove(name)
+                .map_err(|e| persist_io("remove session file", &e))?;
+        }
+        lock_recover(&self.sessions).remove(&id);
+        Ok(())
+    }
+
+    /// Scan the storage and rebuild every session: latest valid
+    /// snapshot (skipping corrupt generations), then journal replay
+    /// through the service's own dispatch, truncating any torn tail.
+    pub fn recover(&self) -> io::Result<RecoveryReport> {
+        let _span = trace::span("recover");
+        // Group files by session id.
+        let mut found: BTreeMap<u64, (bool, Vec<u64>)> = BTreeMap::new();
+        for name in self.storage.list()? {
+            let Some((id, rest)) = name.split_once('.') else {
+                continue;
+            };
+            let Ok(id) = id.parse::<u64>() else { continue };
+            let entry = found.entry(id).or_default();
+            if rest == "journal" {
+                entry.0 = true;
+            } else if let Some(gen) = rest.strip_prefix("snap.").and_then(|g| g.parse().ok()) {
+                entry.1.push(gen);
+            }
+        }
+        let mut report = RecoveryReport::default();
+        for (id, (has_journal, mut gens)) in found {
+            if !has_journal && gens.is_empty() {
+                continue;
+            }
+            let t0 = self.clock.now_ns();
+            let mut span = trace::span("recover.session");
+            span.set_arg("session", id.to_string());
+            gens.sort_unstable();
+            let (session, state) = self.recover_one(id, &gens)?;
+            drop(span);
+            self.metrics
+                .recover_ns
+                .record(self.clock.now_ns().saturating_sub(t0));
+            self.metrics.recovered_sessions.inc();
+            lock_recover(&self.sessions).insert(id, Arc::new(Mutex::new(state)));
+            report.sessions.push((id, session));
+        }
+        Ok(report)
+    }
+
+    fn recover_one(&self, id: u64, gens: &[u64]) -> io::Result<(Session, SessionState)> {
+        // Newest decodable snapshot wins; corrupt ones are skipped.
+        let mut session = Session::new();
+        let mut snap_last_seq = 0u64;
+        for &gen in gens.iter().rev() {
+            let loaded = self
+                .storage
+                .read(&snap_name(id, gen))
+                .ok()
+                .and_then(|bytes| decode_snapshot(&bytes))
+                .and_then(|(last_seq, payload)| {
+                    let text = String::from_utf8(payload).ok()?;
+                    script::load(&text).ok().map(|s| (last_seq, s))
+                });
+            match loaded {
+                Some((last_seq, s)) => {
+                    session = s;
+                    snap_last_seq = last_seq;
+                    break;
+                }
+                None => self.metrics.recover_skipped_snapshots.inc(),
+            }
+        }
+        // Journal scan: truncate a torn tail, replay the rest.
+        let jname = journal_name(id);
+        let bytes = match self.storage.read(&jname) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let scan = decode_records(&bytes, MAX_JOURNAL_PAYLOAD);
+        if scan.trailing > 0 {
+            self.metrics
+                .recover_truncated_bytes
+                .add(scan.trailing as u64);
+            self.storage.write_atomic(&jname, &bytes[..scan.consumed])?;
+        }
+        let mut seq = snap_last_seq;
+        let mut since_snapshot = 0u64;
+        for (rseq, payload) in &scan.records {
+            seq = seq.max(*rseq);
+            if *rseq <= snap_last_seq {
+                continue; // already covered by the snapshot
+            }
+            since_snapshot += 1;
+            self.metrics.recovered_records.inc();
+            self.replay(&mut session, payload);
+        }
+        let max_gen = gens.last().copied().unwrap_or(0);
+        // Prune generations the retention scheme no longer references
+        // (older crashes can leave a trail behind the newest two).
+        for &gen in gens {
+            if gen + 1 < max_gen {
+                let _ = self.storage.remove(&snap_name(id, gen));
+            }
+        }
+        let state = SessionState {
+            seq,
+            good_len: scan.consumed as u64,
+            journal_records: scan.records.len() as u64,
+            since_snapshot,
+            unsynced: 0,
+            gen: max_gen,
+            snap_last_seq,
+            broken: false,
+            jname: journal_name(id),
+        };
+        Ok((session, state))
+    }
+
+    /// Apply one journaled frame to the recovering session through the
+    /// same dispatch live requests use. Errors are expected (a verb
+    /// that failed live fails identically here) and never abort
+    /// recovery.
+    fn replay(&self, session: &mut Session, payload: &[u8]) {
+        let request = std::str::from_utf8(payload)
+            .ok()
+            .and_then(|text| Json::parse(text).ok())
+            .and_then(|v| Request::from_json(&v).ok());
+        let Some(request) = request else {
+            self.metrics.replay_errors.inc();
+            return;
+        };
+        let outcome = match &request {
+            // `load` seeds the session wholesale — it is the first
+            // record of a script-loaded session.
+            Request::Load { script } => match script::load(script) {
+                Ok(s) => {
+                    *session = s;
+                    Ok(())
+                }
+                Err(_) => Err(()),
+            },
+            other => crate::service::apply_session_request(session, other)
+                .map(|_| ())
+                .map_err(|_| ()),
+        };
+        if outcome.is_err() {
+            self.metrics.replay_errors.inc();
+        }
+    }
+}
+
+/// A `persist`-coded error.
+pub(crate) fn persist_error(message: impl Into<String>) -> ServerError {
+    ServerError {
+        code: ErrorCode::Persist,
+        message: message.into(),
+    }
+}
+
+fn persist_io(what: &str, e: &io::Error) -> ServerError {
+    persist_error(format!("{what}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+    use sit_obs::clock::MonotonicClock;
+
+    #[test]
+    fn crc_known_answer() {
+        // CRC-32("123456789") = 0xCBF43926 (IEEE check value); our
+        // record CRC prepends the seq bytes, so check the raw helper.
+        let crc = crc32_update(0xFFFF_FFFF, b"123456789") ^ 0xFFFF_FFFF;
+        assert_eq!(crc, 0xCBF4_3926);
+    }
+
+    #[test]
+    fn records_round_trip_and_detect_corruption() {
+        let mut journal = Vec::new();
+        for seq in 1..=5u64 {
+            journal.extend_from_slice(&encode_record(seq, format!("payload-{seq}").as_bytes()));
+        }
+        let scan = decode_records(&journal, MAX_JOURNAL_PAYLOAD);
+        assert_eq!(scan.records.len(), 5);
+        assert_eq!(scan.trailing, 0);
+        assert_eq!(scan.records[2], (3, b"payload-3".to_vec()));
+
+        // Flip one payload byte in record 4: decoding keeps 1–3 only.
+        let mut corrupt = journal.clone();
+        let offset = 3 * (RECORD_HEADER + 9) + RECORD_HEADER + 2;
+        corrupt[offset] ^= 0x40;
+        let scan = decode_records(&corrupt, MAX_JOURNAL_PAYLOAD);
+        assert_eq!(scan.records.len(), 3);
+        assert!(scan.trailing > 0);
+
+        // Torn tail: every strict prefix decodes to a record prefix.
+        for cut in 0..journal.len() {
+            let scan = decode_records(&journal[..cut], MAX_JOURNAL_PAYLOAD);
+            assert!(scan.records.len() <= 5);
+            assert_eq!(scan.consumed + scan.trailing, cut);
+        }
+    }
+
+    #[test]
+    fn snapshot_decode_requires_exactly_one_clean_record() {
+        let snap = encode_record(42, b"# sit session v1\n");
+        assert_eq!(
+            decode_snapshot(&snap),
+            Some((42, b"# sit session v1\n".to_vec()))
+        );
+        assert_eq!(decode_snapshot(&snap[..snap.len() - 1]), None);
+        let mut two = snap.clone();
+        two.extend_from_slice(&encode_record(43, b"x"));
+        assert_eq!(decode_snapshot(&two), None);
+        assert_eq!(decode_snapshot(b""), None);
+    }
+
+    #[test]
+    fn fsync_policy_parses_both_ways() {
+        for (s, p) in [
+            ("always", FsyncPolicy::Always),
+            ("never", FsyncPolicy::Never),
+            ("every-8", FsyncPolicy::EveryN(8)),
+        ] {
+            assert_eq!(FsyncPolicy::parse(s), Some(p));
+            assert_eq!(p.to_string(), s);
+        }
+        for bad in ["", "every-0", "every-x", "sometimes"] {
+            assert_eq!(FsyncPolicy::parse(bad), None, "{bad}");
+        }
+    }
+
+    #[test]
+    fn append_then_recover_round_trips_one_session() {
+        let storage: Arc<dyn Storage> = Arc::new(MemStorage::new());
+        let clock: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
+        let p = Persistence::new(
+            Arc::clone(&storage),
+            PersistConfig::default(),
+            Arc::clone(&clock),
+        );
+        p.create_session(7).unwrap();
+        let frame = Request::AddSchema {
+            session: "7".into(),
+            ddl: "schema s { entity E { x: int key; } }".into(),
+        }
+        .to_json()
+        .encode();
+        p.append(7, frame.as_bytes()).unwrap();
+
+        let p2 = Persistence::new(storage, PersistConfig::default(), clock);
+        let report = p2.recover().unwrap();
+        assert_eq!(report.sessions.len(), 1);
+        let (id, session) = &report.sessions[0];
+        assert_eq!(*id, 7);
+        assert_eq!(session.catalog().schemas().count(), 1);
+        assert_eq!(p2.metrics().recovered_records.get(), 1);
+    }
+}

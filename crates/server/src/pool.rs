@@ -11,10 +11,20 @@
 //! finish before returning. It takes `&self` so a shared pool
 //! (`Arc<ThreadPool>`) can be drained from the accept loop while
 //! connection threads still hold clones.
+//!
+//! The pool survives panicking jobs twice over: every job runs under
+//! `catch_unwind` so its worker keeps serving the queue (a dead worker
+//! would also wedge `shutdown`, which waits for all workers to exit),
+//! and every lock acquisition is poison-recovering
+//! ([`lock_recover`]) so a panic that *does* escape somewhere cannot
+//! take the whole pool down with it.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+use sit_obs::sync::lock_recover;
 
 /// A queued unit of work.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -78,7 +88,7 @@ impl ThreadPool {
     /// Enqueue a job, or reject immediately when at capacity or draining.
     pub fn submit(&self, job: Job) -> Result<(), QueueFull> {
         {
-            let mut state = self.shared.queue.lock().expect("pool lock");
+            let mut state = lock_recover(&self.shared.queue);
             if state.draining || state.jobs.len() >= self.capacity {
                 return Err(QueueFull);
             }
@@ -90,7 +100,7 @@ impl ThreadPool {
 
     /// Jobs currently waiting (diagnostics).
     pub fn queued(&self) -> usize {
-        self.shared.queue.lock().expect("pool lock").jobs.len()
+        lock_recover(&self.shared.queue).jobs.len()
     }
 
     /// The bounded queue depth this pool rejects beyond.
@@ -107,14 +117,18 @@ impl ThreadPool {
     /// rejected, and the call returns once every worker has exited.
     /// Idempotent.
     pub fn shutdown(&self) {
-        let mut state = self.shared.queue.lock().expect("pool lock");
+        let mut state = lock_recover(&self.shared.queue);
         state.draining = true;
         self.shared.work_ready.notify_all();
         while state.exited < self.threads {
-            state = self.shared.all_exited.wait(state).expect("pool lock");
+            state = self
+                .shared
+                .all_exited
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
         }
         drop(state);
-        for w in self.workers.lock().expect("workers lock").drain(..) {
+        for w in lock_recover(&self.workers).drain(..) {
             let _ = w.join();
         }
     }
@@ -129,7 +143,7 @@ impl Drop for ThreadPool {
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut state = shared.queue.lock().expect("pool lock");
+            let mut state = lock_recover(&shared.queue);
             loop {
                 if let Some(job) = state.jobs.pop_front() {
                     break Some(job);
@@ -137,15 +151,24 @@ fn worker_loop(shared: &Shared) {
                 if state.draining {
                     break None;
                 }
-                state = shared.work_ready.wait(state).expect("pool lock");
+                state = shared
+                    .work_ready
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
             }
         };
         match job {
-            Some(job) => job(),
+            // A panicking job must not kill the worker: the job ran
+            // outside the queue lock, so the panic would not even
+            // poison anything — the worker would just silently die,
+            // never increment `exited`, and wedge `shutdown`.
+            Some(job) => {
+                let _ = catch_unwind(AssertUnwindSafe(job));
+            }
             None => break,
         }
     }
-    let mut state = shared.queue.lock().expect("pool lock");
+    let mut state = lock_recover(&shared.queue);
     state.exited += 1;
     shared.all_exited.notify_all();
 }
@@ -215,5 +238,25 @@ mod tests {
         let pool = ThreadPool::new(1, 4);
         pool.shutdown();
         assert_eq!(pool.submit(Box::new(|| {})), Err(QueueFull));
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_its_worker() {
+        let pool = ThreadPool::new(1, 8);
+        let (tx, rx) = mpsc::channel();
+        pool.submit(Box::new(|| panic!("job panic must stay contained")))
+            .unwrap();
+        // The single worker survived the panic and runs the next job.
+        pool.submit(Box::new(move || {
+            tx.send(42).unwrap();
+        }))
+        .unwrap();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(5)),
+            Ok(42),
+            "worker still alive after a panicking job"
+        );
+        // And shutdown does not wedge waiting for a dead worker.
+        pool.shutdown();
     }
 }

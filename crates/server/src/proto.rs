@@ -29,6 +29,7 @@
 //! | `stats` | — | `uptime_ms`, `sessions`, `evicted`, `verbs` |
 //! | `metrics_text` | — | `text` (Prometheus exposition) |
 //! | `trace_dump` | `limit?` | `events`, `dropped`, `trace` (Chrome JSON) |
+//! | `persist_stats` | — | `enabled`, journal/snapshot/recovery counters |
 //! | `shutdown` | — | `draining` |
 //!
 //! Assertion keywords are the session-script spellings
@@ -50,7 +51,7 @@ use sit_core::script;
 use crate::wire::Json;
 
 /// Every protocol verb, in fixture order.
-pub const VERBS: [&str; 22] = [
+pub const VERBS: [&str; 23] = [
     "ping",
     "open",
     "close",
@@ -72,6 +73,7 @@ pub const VERBS: [&str; 22] = [
     "stats",
     "metrics_text",
     "trace_dump",
+    "persist_stats",
     "shutdown",
 ];
 
@@ -229,6 +231,9 @@ pub enum Request {
         /// response frame stays well under the wire limits).
         limit: Option<u64>,
     },
+    /// Persistence counters (journal, snapshots, recovery); reports
+    /// `enabled:false` when the server runs without `--data-dir`.
+    PersistStats,
     /// Graceful shutdown: drain in-flight requests, then stop.
     Shutdown,
 }
@@ -258,8 +263,49 @@ impl Request {
             Request::Stats => "stats",
             Request::MetricsText => "metrics_text",
             Request::TraceDump { .. } => "trace_dump",
+            Request::PersistStats => "persist_stats",
             Request::Shutdown => "shutdown",
         }
+    }
+
+    /// The session id this request addresses, if any.
+    pub fn session_id(&self) -> Option<&str> {
+        match self {
+            Request::Close { session }
+            | Request::Save { session }
+            | Request::AddSchema { session, .. }
+            | Request::ListSchemas { session }
+            | Request::Render { session, .. }
+            | Request::Equiv { session, .. }
+            | Request::Unequiv { session, .. }
+            | Request::Candidates { session, .. }
+            | Request::RelCandidates { session, .. }
+            | Request::Assert { session, .. }
+            | Request::RelAssert { session, .. }
+            | Request::Retract { session, .. }
+            | Request::RelRetract { session, .. }
+            | Request::Matrix { session, .. }
+            | Request::Integrate { session, .. } => Some(session),
+            _ => None,
+        }
+    }
+
+    /// Whether this verb changes the addressed session's state — the
+    /// set the write-ahead journal records. `integrate` is read-only
+    /// (it derives an integrated schema without touching the session);
+    /// lifecycle verbs (`open`/`load`/`close`) manage journal *files*
+    /// rather than appending records.
+    pub fn is_mutating(&self) -> bool {
+        matches!(
+            self,
+            Request::AddSchema { .. }
+                | Request::Equiv { .. }
+                | Request::Unequiv { .. }
+                | Request::Assert { .. }
+                | Request::RelAssert { .. }
+                | Request::Retract { .. }
+                | Request::RelRetract { .. }
+        )
     }
 
     /// Whether replaying this request after an ambiguous failure is
@@ -276,6 +322,7 @@ impl Request {
                 | Request::Stats
                 | Request::MetricsText
                 | Request::TraceDump { .. }
+                | Request::PersistStats
                 | Request::Save { .. }
                 | Request::ListSchemas { .. }
                 | Request::Render { .. }
@@ -376,6 +423,7 @@ impl Request {
             "trace_dump" => Request::TraceDump {
                 limit: v.get("limit").and_then(Json::as_num).map(|n| n as u64),
             },
+            "persist_stats" => Request::PersistStats,
             "shutdown" => Request::Shutdown,
             other => {
                 return Err(ServerError::bad_request(format!("unknown op `{other}`")));
@@ -392,6 +440,7 @@ impl Request {
             | Request::Open
             | Request::Stats
             | Request::MetricsText
+            | Request::PersistStats
             | Request::Shutdown => {}
             Request::TraceDump { limit } => {
                 if let Some(limit) = limit {
@@ -478,6 +527,9 @@ pub enum ErrorCode {
     Overloaded,
     /// The server is draining; no new requests are accepted.
     ShuttingDown,
+    /// The durability layer failed: the mutation was not journaled and
+    /// was not applied.
+    Persist,
 }
 
 impl ErrorCode {
@@ -491,6 +543,7 @@ impl ErrorCode {
             ErrorCode::Core => "core",
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Persist => "persist",
         }
     }
 }
@@ -631,6 +684,7 @@ mod tests {
             Request::Stats,
             Request::MetricsText,
             Request::TraceDump { limit: Some(64) },
+            Request::PersistStats,
             Request::Shutdown,
         ];
         assert_eq!(reqs.len(), VERBS.len(), "one request per verb");

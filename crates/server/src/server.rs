@@ -23,19 +23,33 @@
 
 use std::io::{BufRead, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+use sit_obs::clock::MonotonicClock;
+
+use crate::persist::PersistConfig;
 use crate::pool::ThreadPool;
 use crate::proto::{ErrorCode, ServerError};
 use crate::service::Service;
+use crate::storage::{DirStorage, Storage};
 use crate::store::StoreConfig;
 use crate::transport::{Interrupter, TcpTransport, Transport};
 use crate::wire::{FrameBuffer, Framed};
 
+/// Where and how the server persists sessions.
+#[derive(Clone, Debug)]
+pub struct PersistOptions {
+    /// Directory holding journals and snapshots (created if missing).
+    pub data_dir: PathBuf,
+    /// Journal/snapshot policies.
+    pub config: PersistConfig,
+}
+
 /// Serving limits.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Worker threads executing requests.
     pub threads: usize,
@@ -43,6 +57,9 @@ pub struct ServerConfig {
     pub queue_cap: usize,
     /// Session-store limits.
     pub store: StoreConfig,
+    /// Durable sessions (`--data-dir`); `None` keeps sessions
+    /// in-memory only.
+    pub persist: Option<PersistOptions>,
 }
 
 impl Default for ServerConfig {
@@ -51,7 +68,22 @@ impl Default for ServerConfig {
             threads: 4,
             queue_cap: 128,
             store: StoreConfig::default(),
+            persist: None,
         }
+    }
+}
+
+/// Build the service a config describes: plain in-memory, or durable
+/// with recovery already run over `--data-dir`.
+pub fn build_service(config: &ServerConfig) -> std::io::Result<Service> {
+    match &config.persist {
+        None => Ok(Service::new(config.store)),
+        Some(opts) => Service::with_persistence(
+            config.store,
+            Arc::new(MonotonicClock::new()),
+            Arc::new(DirStorage::open(&opts.data_dir)?) as Arc<dyn Storage>,
+            opts.config,
+        ),
     }
 }
 
@@ -68,7 +100,7 @@ impl Server {
     /// [`Server::run`] or [`Server::spawn`].
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        let service = Arc::new(Service::new(config.store));
+        let service = Arc::new(build_service(&config)?);
         // The shutdown hook unblocks the acceptor with a throwaway
         // connection to our own port.
         let local = listener.local_addr()?;

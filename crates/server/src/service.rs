@@ -18,6 +18,7 @@
 //! under deterministic schedules; this is what lets the chaos suite
 //! keep `stats` in byte-traced workloads.
 
+use std::io;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -27,10 +28,13 @@ use sit_core::session::Session;
 use sit_ecr::render;
 use sit_obs::clock::{Clock, MonotonicClock};
 use sit_obs::metrics::prom_counter;
+use sit_obs::sync::lock_recover;
 use sit_obs::trace::{self, Tracer};
 
 use crate::metrics::Metrics;
+use crate::persist::{PersistConfig, Persistence};
 use crate::proto::{ok_response, Request, ServerError};
+use crate::storage::Storage;
 use crate::store::{SessionStore, StoreConfig};
 use crate::wire::Json;
 
@@ -57,6 +61,7 @@ pub struct Service {
     metrics: Metrics,
     tracer: Tracer,
     clock: Arc<dyn Clock>,
+    persist: Option<Arc<Persistence>>,
     draining: AtomicBool,
     shutdown_hook: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
 }
@@ -76,9 +81,40 @@ impl Service {
             metrics: Metrics::with_clock(Arc::clone(&clock)),
             tracer: Tracer::new(Arc::clone(&clock), TRACE_CAPACITY),
             clock,
+            persist: None,
             draining: AtomicBool::new(false),
             shutdown_hook: Mutex::new(None),
         }
+    }
+
+    /// Durable service: recover every session found in `storage`, pin
+    /// them back to their journaled ids, and journal all future
+    /// mutations per `persist_config`. Errors only on storage failures
+    /// recovery cannot work around (corrupt *records* never error —
+    /// they are truncated or skipped and counted in the metrics).
+    pub fn with_persistence(
+        store_config: StoreConfig,
+        clock: Arc<dyn Clock>,
+        storage: Arc<dyn Storage>,
+        persist_config: PersistConfig,
+    ) -> io::Result<Service> {
+        let mut service = Service::with_clock(store_config, Arc::clone(&clock));
+        let persistence = Persistence::new(storage, persist_config, clock);
+        let report = {
+            // Recovery spans land on this service's tracer.
+            let _current = trace::set_current(&service.tracer);
+            persistence.recover()?
+        };
+        for (id, session) in report.sessions {
+            service.store.insert_with_id(id, session);
+        }
+        service.persist = Some(Arc::new(persistence));
+        Ok(service)
+    }
+
+    /// The persistence engine, when the service runs durable.
+    pub fn persistence(&self) -> Option<&Arc<Persistence>> {
+        self.persist.as_ref()
     }
 
     /// The service's trace collector.
@@ -163,7 +199,11 @@ impl Service {
         if self.is_draining()
             && !matches!(
                 request,
-                Request::Stats | Request::Ping | Request::MetricsText | Request::TraceDump { .. }
+                Request::Stats
+                    | Request::Ping
+                    | Request::MetricsText
+                    | Request::TraceDump { .. }
+                    | Request::PersistStats
             )
         {
             return self.finish(op, started_ns, Err(ServerError::shutting_down()), false);
@@ -171,7 +211,7 @@ impl Service {
         let shutdown = matches!(request, Request::Shutdown);
         let result = {
             let _dispatch = self.tracer.span("dispatch");
-            self.dispatch(request)
+            self.dispatch(request, trimmed)
         };
         let shutdown = shutdown && result.is_ok();
         if shutdown {
@@ -197,14 +237,38 @@ impl Service {
         Handled { frame, shutdown }
     }
 
-    fn dispatch(&self, request: Request) -> Result<Json, ServerError> {
+    fn dispatch(&self, request: Request, raw: &str) -> Result<Json, ServerError> {
+        // Session-addressed verbs (everything carrying a `session`
+        // except `close`, whose effect is on the store itself) share
+        // one path: resolve, journal if mutating, apply.
+        if request.session_id().is_some() && !matches!(request, Request::Close { .. }) {
+            return self.dispatch_session(&request, raw);
+        }
         match request {
             Request::Ping => Ok(ok_response(vec![("pong", Json::Bool(true))])),
             Request::Open => {
                 let id = self.store.open(Session::new());
+                if let Some(p) = &self.persist {
+                    let key: u64 = id.parse().expect("store ids are numeric");
+                    if let Err(e) = p.create_session(key) {
+                        // Nothing durable exists: the open must fail
+                        // rather than hand out a session that would
+                        // vanish on restart.
+                        self.store.close(&id);
+                        return Err(e);
+                    }
+                }
                 Ok(ok_response(vec![("session", Json::str(id))]))
             }
             Request::Close { session } => {
+                if let Some(p) = &self.persist {
+                    if let Ok(key) = session.parse::<u64>() {
+                        // Files first: an acknowledged close means the
+                        // session does not resurrect on restart. This
+                        // also clears files of already-evicted ids.
+                        p.remove_session(key)?;
+                    }
+                }
                 let closed = self.store.close(&session);
                 Ok(ok_response(vec![("closed", Json::Bool(closed))]))
             }
@@ -216,211 +280,28 @@ impl Service {
                     .map(|(_, sch)| Json::str(sch.name()))
                     .collect();
                 let id = self.store.open(session);
+                if let Some(p) = &self.persist {
+                    let key: u64 = id.parse().expect("store ids are numeric");
+                    // The canonical `load` frame is the session's first
+                    // journal record; replay re-runs `script::load`.
+                    let frame = Request::Load {
+                        script: script.clone(),
+                    }
+                    .to_json()
+                    .encode();
+                    let journaled = p
+                        .create_session(key)
+                        .and_then(|()| p.append(key, frame.as_bytes()));
+                    if let Err(e) = journaled {
+                        self.store.close(&id);
+                        return Err(e);
+                    }
+                }
                 Ok(ok_response(vec![
                     ("session", Json::str(id)),
                     ("schemas", Json::Arr(schemas)),
                 ]))
             }
-            Request::Save { session } => self.with_session(&session, |s| {
-                Ok(ok_response(vec![("script", Json::str(script::save(s)))]))
-            }),
-            Request::AddSchema { session, ddl } => self.with_session(&session, |s| {
-                let schemas = sit_ecr::ddl::parse_many(&ddl)
-                    .map_err(|e| ServerError::bad_request(format!("DDL error: {e}")))?;
-                if schemas.is_empty() {
-                    return Err(ServerError::bad_request("no `schema` blocks in ddl"));
-                }
-                let mut names = Vec::new();
-                for schema in schemas {
-                    let name = schema.name().to_owned();
-                    s.add_schema(schema)?;
-                    names.push(Json::Str(name));
-                }
-                Ok(ok_response(vec![("schemas", Json::Arr(names))]))
-            }),
-            Request::ListSchemas { session } => self.with_session(&session, |s| {
-                let schemas: Vec<Json> = s
-                    .catalog()
-                    .schemas()
-                    .map(|(_, sch)| {
-                        Json::obj(vec![
-                            ("name", Json::str(sch.name())),
-                            ("objects", Json::num(sch.object_count() as u64)),
-                            ("relationships", Json::num(sch.relationship_count() as u64)),
-                        ])
-                    })
-                    .collect();
-                Ok(ok_response(vec![("schemas", Json::Arr(schemas))]))
-            }),
-            Request::Render { session, schema } => self.with_session(&session, |s| {
-                let sid = schema_id(s, &schema)?;
-                let text = render::render(s.catalog().schema(sid));
-                Ok(ok_response(vec![("text", Json::str(text))]))
-            }),
-            Request::Equiv { session, a, b } => self.with_session(&session, |s| {
-                let (sa, oa, aa) = attr_path(&a)?;
-                let (sb, ob, ab) = attr_path(&b)?;
-                s.declare_equivalent_named(sa, oa, aa, sb, ob, ab)?;
-                let classes = s.equivalences().classes().len();
-                Ok(ok_response(vec![("classes", Json::num(classes as u64))]))
-            }),
-            Request::Unequiv { session, a } => self.with_session(&session, |s| {
-                let (sa, oa, aa) = attr_path(&a)?;
-                let attr = s.catalog().attr_named(sa, oa, aa)?;
-                let removed = s.remove_from_class(attr);
-                Ok(ok_response(vec![("removed", Json::Bool(removed))]))
-            }),
-            Request::Candidates { session, a, b } => self.with_session(&session, |s| {
-                let (sa, sb) = (schema_id(s, &a)?, schema_id(s, &b)?);
-                let pairs: Vec<Json> = s
-                    .candidates(sa, sb)
-                    .into_iter()
-                    .map(|p| {
-                        Json::obj(vec![
-                            ("left", Json::str(s.catalog().obj_display(p.left))),
-                            ("right", Json::str(s.catalog().obj_display(p.right))),
-                            ("equivalent", Json::num(p.equivalent as u64)),
-                            ("ratio", Json::Num(p.ratio)),
-                        ])
-                    })
-                    .collect();
-                Ok(ok_response(vec![("pairs", Json::Arr(pairs))]))
-            }),
-            Request::RelCandidates { session, a, b } => self.with_session(&session, |s| {
-                let (sa, sb) = (schema_id(s, &a)?, schema_id(s, &b)?);
-                let pairs: Vec<Json> = s
-                    .rel_candidates(sa, sb)
-                    .into_iter()
-                    .map(|p| {
-                        Json::obj(vec![
-                            ("left", Json::str(s.catalog().rel_display(p.left))),
-                            ("right", Json::str(s.catalog().rel_display(p.right))),
-                            ("equivalent", Json::num(p.equivalent as u64)),
-                            ("ratio", Json::Num(p.ratio)),
-                        ])
-                    })
-                    .collect();
-                Ok(ok_response(vec![("pairs", Json::Arr(pairs))]))
-            }),
-            Request::Assert {
-                session,
-                a,
-                b,
-                assertion,
-            } => self.with_session(&session, |s| {
-                let ga = object_path(s, &a)?;
-                let gb = object_path(s, &b)?;
-                let derived = s.assert_objects(ga, gb, assertion)?;
-                let derived: Vec<Json> = derived
-                    .iter()
-                    .map(|d| {
-                        Json::obj(vec![
-                            ("a", Json::str(s.catalog().obj_display(d.a))),
-                            ("rel", Json::str(d.rel.to_string())),
-                            ("b", Json::str(s.catalog().obj_display(d.b))),
-                        ])
-                    })
-                    .collect();
-                Ok(ok_response(vec![("derived", Json::Arr(derived))]))
-            }),
-            Request::RelAssert {
-                session,
-                a,
-                b,
-                assertion,
-            } => self.with_session(&session, |s| {
-                let ga = rel_path(s, &a)?;
-                let gb = rel_path(s, &b)?;
-                let derived = s.assert_rels(ga, gb, assertion)?;
-                let derived: Vec<Json> = derived
-                    .iter()
-                    .map(|d| {
-                        Json::obj(vec![
-                            ("a", Json::str(s.catalog().rel_display(d.a))),
-                            ("rel", Json::str(d.rel.to_string())),
-                            ("b", Json::str(s.catalog().rel_display(d.b))),
-                        ])
-                    })
-                    .collect();
-                Ok(ok_response(vec![("derived", Json::Arr(derived))]))
-            }),
-            Request::Retract { session, a, b } => self.with_session(&session, |s| {
-                let ga = object_path(s, &a)?;
-                let gb = object_path(s, &b)?;
-                let retracted = s.retract_objects(ga, gb);
-                Ok(ok_response(vec![("retracted", Json::Bool(retracted))]))
-            }),
-            Request::RelRetract { session, a, b } => self.with_session(&session, |s| {
-                let ga = rel_path(s, &a)?;
-                let gb = rel_path(s, &b)?;
-                let retracted = s.retract_rels(ga, gb);
-                Ok(ok_response(vec![("retracted", Json::Bool(retracted))]))
-            }),
-            Request::Matrix { session, a, b } => self.with_session(&session, |s| {
-                let (sa, sb) = (schema_id(s, &a)?, schema_id(s, &b)?);
-                let rows: Vec<Json> = s
-                    .catalog()
-                    .objects_of(sa)
-                    .map(|o| Json::str(s.catalog().obj_display(o)))
-                    .collect();
-                let cols: Vec<Json> = s
-                    .catalog()
-                    .objects_of(sb)
-                    .map(|o| Json::str(s.catalog().obj_display(o)))
-                    .collect();
-                let cells: Vec<Json> = s
-                    .assertion_matrix(sa, sb)
-                    .into_iter()
-                    .map(|row| {
-                        Json::Arr(
-                            row.into_iter()
-                                .map(|cell| match cell {
-                                    Some(a) => Json::str(script::keyword(a)),
-                                    None => Json::Null,
-                                })
-                                .collect(),
-                        )
-                    })
-                    .collect();
-                Ok(ok_response(vec![
-                    ("rows", Json::Arr(rows)),
-                    ("cols", Json::Arr(cols)),
-                    ("cells", Json::Arr(cells)),
-                ]))
-            }),
-            Request::Integrate {
-                session,
-                a,
-                b,
-                pull_up,
-                mappings,
-            } => self.with_session(&session, |s| {
-                let (sa, sb) = (schema_id(s, &a)?, schema_id(s, &b)?);
-                let options = IntegrationOptions {
-                    pull_up_common_attrs: pull_up,
-                    ..Default::default()
-                };
-                let mut pairs: Vec<(&str, Json)> = Vec::new();
-                if mappings {
-                    let (integrated, maps) = s.integrate_with_mappings(sa, sb, &options)?;
-                    pairs.push(("schema", Json::str(render::render(&integrated.schema))));
-                    pairs.push(("objects", Json::num(integrated.schema.object_count() as u64)));
-                    pairs.push((
-                        "relationships",
-                        Json::num(integrated.schema.relationship_count() as u64),
-                    ));
-                    pairs.push(("mappings", Json::str(maps.describe())));
-                } else {
-                    let integrated = s.integrate(sa, sb, &options)?;
-                    pairs.push(("schema", Json::str(render::render(&integrated.schema))));
-                    pairs.push(("objects", Json::num(integrated.schema.object_count() as u64)));
-                    pairs.push((
-                        "relationships",
-                        Json::num(integrated.schema.relationship_count() as u64),
-                    ));
-                }
-                Ok(ok_response(pairs))
-            }),
             Request::Stats => {
                 let (lru, ttl) = self.store.evictions();
                 let verbs: Vec<(String, Json)> = self
@@ -470,8 +351,69 @@ impl Service {
                     ("trace", Json::str(trace::chrome_json(&events))),
                 ]))
             }
+            Request::PersistStats => match &self.persist {
+                None => Ok(ok_response(vec![("enabled", Json::Bool(false))])),
+                Some(p) => {
+                    let m = p.metrics();
+                    Ok(ok_response(vec![
+                        ("enabled", Json::Bool(true)),
+                        ("fsync", Json::str(p.config().fsync.to_string())),
+                        ("snapshot_every", Json::num(p.config().snapshot_every)),
+                        ("journal_records", Json::num(m.journal_records.get())),
+                        ("journal_bytes", Json::num(m.journal_bytes.get())),
+                        ("fsyncs", Json::num(m.fsyncs.get())),
+                        ("snapshots", Json::num(m.snapshots.get())),
+                        ("compactions", Json::num(m.compactions.get())),
+                        ("errors", Json::num(m.errors.get())),
+                        ("recovered_sessions", Json::num(m.recovered_sessions.get())),
+                        ("recovered_records", Json::num(m.recovered_records.get())),
+                        ("replay_errors", Json::num(m.replay_errors.get())),
+                    ]))
+                }
+            },
             Request::Shutdown => Ok(ok_response(vec![("draining", Json::Bool(true))])),
+            // Session verbs were routed to `dispatch_session` above.
+            other => Err(ServerError::bad_request(format!(
+                "`{}` requires a session",
+                other.op()
+            ))),
         }
+    }
+
+    /// One session-addressed request: look up the session, journal the
+    /// frame first if it mutates (write-ahead: an acknowledged mutation
+    /// is durable *before* it is visible), then apply through
+    /// [`apply_session_request`] — the same function recovery replays
+    /// records through.
+    fn dispatch_session(&self, request: &Request, raw: &str) -> Result<Json, ServerError> {
+        let id = request.session_id().expect("caller checked session_id");
+        let handle = self
+            .store
+            .get(id)
+            .ok_or_else(|| ServerError::unknown_session(id))?;
+        let mut session = lock_recover(&handle);
+        let persist = self
+            .persist
+            .as_ref()
+            .filter(|_| request.is_mutating())
+            .map(|p| {
+                let key: u64 = id.parse().expect("store ids are numeric");
+                (p, key)
+            });
+        if let Some((p, key)) = &persist {
+            // The journal stores the wire frame as received — replay
+            // re-parses it through the same `Request::from_json` the
+            // live path used, so no re-encoding happens per mutation.
+            p.append(*key, raw.as_bytes())?;
+        }
+        let result = apply_session_request(&mut session, request);
+        if let Some((p, key)) = &persist {
+            // The record is durable whatever `result` was (a failed
+            // verb replays to the same failure); snapshot cadence
+            // counts attempts.
+            p.maybe_snapshot(*key, &session);
+        }
+        result
     }
 
     /// The full Prometheus text exposition: service gauges first, then
@@ -495,20 +437,215 @@ impl Service {
             "",
             self.tracer.dropped(),
         );
+        if let Some(p) = &self.persist {
+            p.metrics().prometheus(&mut out);
+        }
         out.push_str(&self.metrics.prometheus());
         out
     }
 
-    fn with_session<F>(&self, id: &str, f: F) -> Result<Json, ServerError>
-    where
-        F: FnOnce(&mut Session) -> Result<Json, ServerError>,
-    {
-        let handle = self
-            .store
-            .get(id)
-            .ok_or_else(|| ServerError::unknown_session(id))?;
-        let mut session = handle.lock().expect("session lock");
-        f(&mut session)
+}
+
+/// Apply one session-addressed verb to a session. Pure with respect to
+/// the service: live dispatch and journal replay both come through
+/// here, which is what makes replay deterministic.
+pub(crate) fn apply_session_request(
+    s: &mut Session,
+    request: &Request,
+) -> Result<Json, ServerError> {
+    match request {
+        Request::Save { .. } => Ok(ok_response(vec![("script", Json::str(script::save(s)))])),
+        Request::AddSchema { ddl, .. } => {
+            let schemas = sit_ecr::ddl::parse_many(ddl)
+                .map_err(|e| ServerError::bad_request(format!("DDL error: {e}")))?;
+            if schemas.is_empty() {
+                return Err(ServerError::bad_request("no `schema` blocks in ddl"));
+            }
+            let mut names = Vec::new();
+            for schema in schemas {
+                let name = schema.name().to_owned();
+                s.add_schema(schema)?;
+                names.push(Json::Str(name));
+            }
+            Ok(ok_response(vec![("schemas", Json::Arr(names))]))
+        }
+        Request::ListSchemas { .. } => {
+            let schemas: Vec<Json> = s
+                .catalog()
+                .schemas()
+                .map(|(_, sch)| {
+                    Json::obj(vec![
+                        ("name", Json::str(sch.name())),
+                        ("objects", Json::num(sch.object_count() as u64)),
+                        ("relationships", Json::num(sch.relationship_count() as u64)),
+                    ])
+                })
+                .collect();
+            Ok(ok_response(vec![("schemas", Json::Arr(schemas))]))
+        }
+        Request::Render { schema, .. } => {
+            let sid = schema_id(s, schema)?;
+            let text = render::render(s.catalog().schema(sid));
+            Ok(ok_response(vec![("text", Json::str(text))]))
+        }
+        Request::Equiv { a, b, .. } => {
+            let (sa, oa, aa) = attr_path(a)?;
+            let (sb, ob, ab) = attr_path(b)?;
+            s.declare_equivalent_named(sa, oa, aa, sb, ob, ab)?;
+            let classes = s.equivalences().classes().len();
+            Ok(ok_response(vec![("classes", Json::num(classes as u64))]))
+        }
+        Request::Unequiv { a, .. } => {
+            let (sa, oa, aa) = attr_path(a)?;
+            let attr = s.catalog().attr_named(sa, oa, aa)?;
+            let removed = s.remove_from_class(attr);
+            Ok(ok_response(vec![("removed", Json::Bool(removed))]))
+        }
+        Request::Candidates { a, b, .. } => {
+            let (sa, sb) = (schema_id(s, a)?, schema_id(s, b)?);
+            let pairs: Vec<Json> = s
+                .candidates(sa, sb)
+                .into_iter()
+                .map(|p| {
+                    Json::obj(vec![
+                        ("left", Json::str(s.catalog().obj_display(p.left))),
+                        ("right", Json::str(s.catalog().obj_display(p.right))),
+                        ("equivalent", Json::num(p.equivalent as u64)),
+                        ("ratio", Json::Num(p.ratio)),
+                    ])
+                })
+                .collect();
+            Ok(ok_response(vec![("pairs", Json::Arr(pairs))]))
+        }
+        Request::RelCandidates { a, b, .. } => {
+            let (sa, sb) = (schema_id(s, a)?, schema_id(s, b)?);
+            let pairs: Vec<Json> = s
+                .rel_candidates(sa, sb)
+                .into_iter()
+                .map(|p| {
+                    Json::obj(vec![
+                        ("left", Json::str(s.catalog().rel_display(p.left))),
+                        ("right", Json::str(s.catalog().rel_display(p.right))),
+                        ("equivalent", Json::num(p.equivalent as u64)),
+                        ("ratio", Json::Num(p.ratio)),
+                    ])
+                })
+                .collect();
+            Ok(ok_response(vec![("pairs", Json::Arr(pairs))]))
+        }
+        Request::Assert { a, b, assertion, .. } => {
+            let ga = object_path(s, a)?;
+            let gb = object_path(s, b)?;
+            let derived = s.assert_objects(ga, gb, *assertion)?;
+            let derived: Vec<Json> = derived
+                .iter()
+                .map(|d| {
+                    Json::obj(vec![
+                        ("a", Json::str(s.catalog().obj_display(d.a))),
+                        ("rel", Json::str(d.rel.to_string())),
+                        ("b", Json::str(s.catalog().obj_display(d.b))),
+                    ])
+                })
+                .collect();
+            Ok(ok_response(vec![("derived", Json::Arr(derived))]))
+        }
+        Request::RelAssert { a, b, assertion, .. } => {
+            let ga = rel_path(s, a)?;
+            let gb = rel_path(s, b)?;
+            let derived = s.assert_rels(ga, gb, *assertion)?;
+            let derived: Vec<Json> = derived
+                .iter()
+                .map(|d| {
+                    Json::obj(vec![
+                        ("a", Json::str(s.catalog().rel_display(d.a))),
+                        ("rel", Json::str(d.rel.to_string())),
+                        ("b", Json::str(s.catalog().rel_display(d.b))),
+                    ])
+                })
+                .collect();
+            Ok(ok_response(vec![("derived", Json::Arr(derived))]))
+        }
+        Request::Retract { a, b, .. } => {
+            let ga = object_path(s, a)?;
+            let gb = object_path(s, b)?;
+            let retracted = s.retract_objects(ga, gb);
+            Ok(ok_response(vec![("retracted", Json::Bool(retracted))]))
+        }
+        Request::RelRetract { a, b, .. } => {
+            let ga = rel_path(s, a)?;
+            let gb = rel_path(s, b)?;
+            let retracted = s.retract_rels(ga, gb);
+            Ok(ok_response(vec![("retracted", Json::Bool(retracted))]))
+        }
+        Request::Matrix { a, b, .. } => {
+            let (sa, sb) = (schema_id(s, a)?, schema_id(s, b)?);
+            let rows: Vec<Json> = s
+                .catalog()
+                .objects_of(sa)
+                .map(|o| Json::str(s.catalog().obj_display(o)))
+                .collect();
+            let cols: Vec<Json> = s
+                .catalog()
+                .objects_of(sb)
+                .map(|o| Json::str(s.catalog().obj_display(o)))
+                .collect();
+            let cells: Vec<Json> = s
+                .assertion_matrix(sa, sb)
+                .into_iter()
+                .map(|row| {
+                    Json::Arr(
+                        row.into_iter()
+                            .map(|cell| match cell {
+                                Some(a) => Json::str(script::keyword(a)),
+                                None => Json::Null,
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            Ok(ok_response(vec![
+                ("rows", Json::Arr(rows)),
+                ("cols", Json::Arr(cols)),
+                ("cells", Json::Arr(cells)),
+            ]))
+        }
+        Request::Integrate {
+            a,
+            b,
+            pull_up,
+            mappings,
+            ..
+        } => {
+            let (sa, sb) = (schema_id(s, a)?, schema_id(s, b)?);
+            let options = IntegrationOptions {
+                pull_up_common_attrs: *pull_up,
+                ..Default::default()
+            };
+            let mut pairs: Vec<(&str, Json)> = Vec::new();
+            if *mappings {
+                let (integrated, maps) = s.integrate_with_mappings(sa, sb, &options)?;
+                pairs.push(("schema", Json::str(render::render(&integrated.schema))));
+                pairs.push(("objects", Json::num(integrated.schema.object_count() as u64)));
+                pairs.push((
+                    "relationships",
+                    Json::num(integrated.schema.relationship_count() as u64),
+                ));
+                pairs.push(("mappings", Json::str(maps.describe())));
+            } else {
+                let integrated = s.integrate(sa, sb, &options)?;
+                pairs.push(("schema", Json::str(render::render(&integrated.schema))));
+                pairs.push(("objects", Json::num(integrated.schema.object_count() as u64)));
+                pairs.push((
+                    "relationships",
+                    Json::num(integrated.schema.relationship_count() as u64),
+                ));
+            }
+            Ok(ok_response(pairs))
+        }
+        other => Err(ServerError::bad_request(format!(
+            "`{}` is not a session verb",
+            other.op()
+        ))),
     }
 }
 
@@ -725,10 +862,74 @@ mod tests {
         assert!(ok(&call(&service, r#"{"op":"stats"}"#)));
         assert!(ok(&call(&service, r#"{"op":"metrics_text"}"#)));
         assert!(ok(&call(&service, r#"{"op":"trace_dump"}"#)));
+        assert!(ok(&call(&service, r#"{"op":"persist_stats"}"#)));
     }
 
     #[test]
     fn error_codes_enum_matches_wire() {
         assert_eq!(ErrorCode::Overloaded.as_str(), "overloaded");
+    }
+
+    fn durable_service(storage: &Arc<crate::storage::MemStorage>) -> Service {
+        Service::with_persistence(
+            StoreConfig::default(),
+            Arc::new(MonotonicClock::new()),
+            Arc::clone(storage) as Arc<dyn Storage>,
+            PersistConfig::default(),
+        )
+        .expect("recovery over MemStorage cannot fail")
+    }
+
+    #[test]
+    fn durable_sessions_survive_a_service_rebuild() {
+        let storage = Arc::new(crate::storage::MemStorage::new());
+        let first = durable_service(&storage);
+        let opened = call(&first, r#"{"op":"open"}"#);
+        let sid = opened.get("session").and_then(Json::as_str).unwrap().to_owned();
+        for ddl in [SC1, SC2] {
+            let add = Request::AddSchema {
+                session: sid.clone(),
+                ddl: ddl.into(),
+            };
+            assert!(ok(&call(&first, &add.to_json().encode())));
+        }
+        let eq = Request::Equiv {
+            session: sid.clone(),
+            a: "sc1.Student.Name".into(),
+            b: "sc2.Grad_student.Name".into(),
+        };
+        assert!(ok(&call(&first, &eq.to_json().encode())));
+        let save = Request::Save { session: sid.clone() }.to_json().encode();
+        let before = call(&first, &save);
+        drop(first);
+
+        // Same storage, new process: the session comes back under the
+        // same id with byte-identical script output.
+        let second = durable_service(&storage);
+        let after = call(&second, &save);
+        assert_eq!(before, after);
+        let stats = call(&second, r#"{"op":"persist_stats"}"#);
+        assert_eq!(stats.get("enabled"), Some(&Json::Bool(true)));
+        assert!(
+            stats.get("recovered_records").and_then(Json::as_num).unwrap() >= 2.0,
+            "{stats:?}"
+        );
+        let metrics = call(&second, r#"{"op":"metrics_text"}"#);
+        let text = metrics.get("text").and_then(Json::as_str).unwrap();
+        assert!(text.contains("sit_persist_journal_records_total"), "{text}");
+        assert!(text.contains("sit_recover_sessions_total"), "{text}");
+    }
+
+    #[test]
+    fn closed_sessions_do_not_resurrect() {
+        let storage = Arc::new(crate::storage::MemStorage::new());
+        let first = durable_service(&storage);
+        let opened = call(&first, r#"{"op":"open"}"#);
+        let sid = opened.get("session").and_then(Json::as_str).unwrap().to_owned();
+        let closed = call(&first, &format!(r#"{{"op":"close","session":"{sid}"}}"#));
+        assert!(ok(&closed));
+        drop(first);
+        let second = durable_service(&storage);
+        assert!(second.store().is_empty(), "close removed the files");
     }
 }

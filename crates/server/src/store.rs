@@ -78,7 +78,22 @@ impl SessionStore {
     pub fn open(&self, session: Session) -> String {
         let mut reg = self.registry.lock().expect("store lock");
         self.expire(&mut reg);
-        while reg.entries.len() >= self.config.max_sessions.max(1) {
+        let id = reg.next_id;
+        Self::insert(&mut reg, self.config, id, session);
+        id.to_string()
+    }
+
+    /// Insert a session under a caller-chosen id (crash recovery pins
+    /// recovered sessions back to their journaled ids). Future
+    /// server-assigned ids stay above it.
+    pub fn insert_with_id(&self, id: u64, session: Session) {
+        let mut reg = self.registry.lock().expect("store lock");
+        self.expire(&mut reg);
+        Self::insert(&mut reg, self.config, id, session);
+    }
+
+    fn insert(reg: &mut Registry, config: StoreConfig, id: u64, session: Session) {
+        while reg.entries.len() >= config.max_sessions.max(1) {
             // Evict the least-recently-used entry to make room.
             if let Some((&victim, _)) = reg
                 .entries
@@ -91,8 +106,7 @@ impl SessionStore {
                 break;
             }
         }
-        let id = reg.next_id;
-        reg.next_id += 1;
+        reg.next_id = reg.next_id.max(id + 1);
         reg.entries.insert(
             id,
             Entry {
@@ -100,7 +114,6 @@ impl SessionStore {
                 last_used: Instant::now(),
             },
         );
-        id.to_string()
     }
 
     /// Fetch a session handle by id, refreshing its LRU stamp. `None` if
@@ -199,6 +212,15 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10));
         assert!(s.get(&id).is_none(), "expired after idle ttl");
         assert_eq!(s.evictions().1, 1);
+    }
+
+    #[test]
+    fn insert_with_id_pins_recovered_ids_and_bumps_the_counter() {
+        let s = store(4, None);
+        s.insert_with_id(7, Session::new());
+        assert!(s.get("7").is_some());
+        let next = s.open(Session::new());
+        assert_eq!(next, "8", "fresh ids never collide with recovered ones");
     }
 
     #[test]

@@ -536,6 +536,11 @@ fn run_scenario(seed: u64) -> Vec<String> {
                 | FaultEvent::WriteSplit { conn, .. }
                 | FaultEvent::WriteDelay { conn, .. }
                 | FaultEvent::WriteDrop { conn, .. } => conn,
+                // Storage faults are not connection-scoped; this suite
+                // drives transports only.
+                FaultEvent::StorageTorn { .. }
+                | FaultEvent::StorageShort { .. }
+                | FaultEvent::StorageCrash { .. } => continue,
             };
             if conn == k as u32 {
                 trace.push(format!("fault {event}"));

@@ -147,6 +147,7 @@ fn concurrent_sessions_match_the_single_threaded_oracle() {
         threads: 4,
         queue_cap: 64,
         store: StoreConfig::default(),
+        persist: None,
     };
     let handle = Server::bind("127.0.0.1:0", config)
         .expect("bind loopback")

@@ -1,6 +1,6 @@
 //! Golden request/response fixtures for every protocol verb.
 //!
-//! The transcript below drives one service through all 22 verbs
+//! The transcript below drives one service through all 23 verbs
 //! ([`sit_server::proto::VERBS`]) with byte-exact expected responses
 //! (the `stats`, `metrics_text`, and `trace_dump` responses carry
 //! wall-clock timings and are checked structurally instead). If a
@@ -41,6 +41,7 @@ const TRANSCRIPT: &[(&str, &str, &str)] = &[
     ("stats", r#"{"op":"stats"}"#, "@stats"),
     ("metrics_text", r#"{"op":"metrics_text"}"#, "@metrics_text"),
     ("trace_dump", r#"{"op":"trace_dump","limit":64}"#, "@trace"),
+    ("persist_stats", r#"{"op":"persist_stats"}"#, r#"{"ok":true,"enabled":false}"#),
     ("shutdown", r#"{"op":"shutdown"}"#, r#"{"ok":true,"draining":true}"#),
 ];
 

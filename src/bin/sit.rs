@@ -11,7 +11,10 @@
 //! sit --save OUT                    save the session script before exiting
 //! sit --to-integrated SCHEMA "Q"    translate a view query (with --integrate)
 //! sit --to-components "Q"           translate a global query (with --integrate)
-//! sit serve [--addr H:P] [--stdio]  serve sessions over line-delimited JSON
+//! sit serve [--addr H:P] [--stdio] [--data-dir DIR]
+//!                                   serve sessions over line-delimited JSON;
+//!                                   --data-dir journals mutations and
+//!                                   recovers sessions on restart
 //! sit client ADDR [--timeout-ms N] [--retries N]
 //!                                   pipe request lines to a running
 //!                                   server; exits 2 on typed error frames
@@ -35,7 +38,8 @@ use sit::core::script;
 use sit::core::session::Session;
 use sit::ecr::render;
 use sit::server::client::error_code;
-use sit::server::server::{serve_stdio, Server, ServerConfig};
+use sit::server::server::{serve_stdio, PersistOptions, Server, ServerConfig};
+use sit::server::{FsyncPolicy, PersistConfig};
 use sit::server::{Client, ClientConfig, Json, Request};
 use sit::tui::app::App;
 use sit::tui::event::Event;
@@ -116,11 +120,21 @@ sit - interactive schema integration (ICDE 1988 reproduction)
 
   sit serve [--addr HOST:PORT] [--stdio] [--threads N]
             [--queue N] [--max-sessions N] [--ttl SECS]
+            [--data-dir DIR] [--fsync always|every-N|never]
+            [--snapshot-every N]
                                     serve integration sessions over
                                     newline-delimited JSON (TCP, or
                                     stdin/stdout with --stdio); port 0
                                     picks a free port, printed on the
-                                    `listening on ...` line
+                                    `listening on ...` line.
+                                    --data-dir makes sessions durable:
+                                    mutations are journaled (write-ahead)
+                                    to DIR and recovered on restart;
+                                    --fsync picks the journal fsync
+                                    policy (default always) and
+                                    --snapshot-every compacts the journal
+                                    into a snapshot every N records
+                                    (default 64, 0 disables)
   sit client ADDR [--timeout-ms N] [--retries N]
                                     connect to a server; request lines
                                     from stdin, response lines to stdout.
@@ -271,6 +285,9 @@ fn serve(mut argv: impl Iterator<Item = String>) -> Result<(), String> {
     let mut addr = "127.0.0.1:4088".to_owned();
     let mut stdio = false;
     let mut config = ServerConfig::default();
+    let mut data_dir: Option<String> = None;
+    let mut persist_config = PersistConfig::default();
+    let mut persist_flag: Option<&'static str> = None;
     while let Some(a) = argv.next() {
         let mut need = |what: &str| argv.next().ok_or(format!("{what} needs a value"));
         match a.as_str() {
@@ -291,11 +308,36 @@ fn serve(mut argv: impl Iterator<Item = String>) -> Result<(), String> {
                 config.store.ttl =
                     (secs > 0).then(|| std::time::Duration::from_secs(secs));
             }
+            "--data-dir" => data_dir = Some(need("--data-dir")?),
+            "--fsync" => {
+                let value = need("--fsync")?;
+                persist_config.fsync = FsyncPolicy::parse(&value)
+                    .ok_or(format!("--fsync wants `always`, `every-N`, or `never`, got `{value}`"))?;
+                persist_flag = Some("--fsync");
+            }
+            "--snapshot-every" => {
+                persist_config.snapshot_every =
+                    parse_num(&need("--snapshot-every")?, "--snapshot-every")?;
+                persist_flag = Some("--snapshot-every");
+            }
             other => return Err(format!("unknown `serve` argument `{other}`")),
         }
     }
+    match data_dir {
+        Some(dir) => {
+            config.persist = Some(PersistOptions {
+                data_dir: dir.into(),
+                config: persist_config,
+            });
+        }
+        None => {
+            if let Some(flag) = persist_flag {
+                return Err(format!("{flag} needs --data-dir"));
+            }
+        }
+    }
     if stdio {
-        let service = sit::server::Service::new(config.store);
+        let service = sit::server::server::build_service(&config).map_err(|e| e.to_string())?;
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
         return serve_stdio(&service, stdin.lock(), stdout.lock()).map_err(|e| e.to_string());
